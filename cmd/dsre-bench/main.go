@@ -1,0 +1,103 @@
+// dsre-bench regenerates the tables and figures of the paper's evaluation
+// (experiments E1..E10, indexed in DESIGN.md).
+//
+// Usage:
+//
+//	dsre-bench                 # run everything at full size
+//	dsre-bench -quick          # small sizes, for smoke runs
+//	dsre-bench -only E2,E4     # a subset of experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use small workload sizes")
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E4); empty runs all")
+	flag.Parse()
+
+	o := experiments.Opts{Quick: *quick}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	start := time.Now()
+	ran := 0
+	show := func(t *stats.Table) {
+		fmt.Println(t)
+		ran++
+	}
+
+	if sel("E1") {
+		show(experiments.E1ConfigTable())
+	}
+	if sel("E2") || sel("E3") {
+		e2, e3, sum := experiments.E2E3Speedup(o)
+		if sel("E2") {
+			show(e2)
+		}
+		if sel("E3") {
+			show(e3)
+		}
+		fmt.Printf("headline: DSRE vs storeset+flush geomean speedup = %.2fx all kernels, %.2fx conflict kernels (paper: 1.17x on SPEC)\n",
+			sum.DSREOverStoreSet, sum.DSREOverStoreSetConflict)
+		fmt.Printf("headline: DSRE reaches %.0f%% of oracle (paper: 82%%)\n\n", 100*sum.DSREOfOracle)
+	}
+	if sel("E4") {
+		show(experiments.E4WindowScaling(o))
+	}
+	if sel("E5") {
+		show(experiments.E5Misspec(o))
+	}
+	if sel("E6") {
+		show(experiments.E6CommitWave(o))
+	}
+	if sel("E7") {
+		show(experiments.E7Suppression(o))
+	}
+	if sel("E8") {
+		show(experiments.E8WaveSizes(o))
+	}
+	if sel("E9") {
+		show(experiments.E9HopLatency(o))
+	}
+	if sel("E10") {
+		show(experiments.E10StoreSetSize(o))
+	}
+	if sel("E11") {
+		show(experiments.E11BlockPredictors(o))
+	}
+	if sel("E12") {
+		show(experiments.E12WorkBreakdown(o))
+	}
+	if sel("E13") {
+		show(experiments.E13Placement(o))
+	}
+	if sel("E14") {
+		show(experiments.E14DTileBanks(o))
+	}
+	if sel("E15") {
+		show(experiments.E15LSQCapacity(o))
+	}
+	if sel("E16") {
+		show(experiments.E16ValuePrediction(o))
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
+		os.Exit(1)
+	}
+	fmt.Printf("(%d experiment groups in %v)\n", ran, time.Since(start).Round(time.Millisecond))
+}

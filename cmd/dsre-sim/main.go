@@ -1,0 +1,94 @@
+// dsre-sim runs one workload on the simulated EDGE machine and prints the
+// run's statistics.  Every run is verified against the architectural
+// emulator before results are reported.
+//
+// Usage:
+//
+//	dsre-sim -workload histogram -scheme dsre
+//	dsre-sim -workload bank -scheme storeset+flush -frames 16 -size 8192
+//	dsre-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var cfg repro.Config
+	list := flag.Bool("list", false, "list workloads and schemes, then exit")
+	all := flag.Bool("all-schemes", false, "run every scheme on the workload")
+	flag.StringVar(&cfg.Workload, "workload", "", "kernel to run (see -list)")
+	flag.StringVar(&cfg.Scheme, "scheme", "dsre", "speculation scheme (see -list)")
+	flag.IntVar(&cfg.Size, "size", 0, "workload size (0 = default)")
+	flag.IntVar(&cfg.Unroll, "unroll", 0, "iterations per block (0 = default)")
+	seed := flag.Uint64("seed", 0, "workload seed (0 = default)")
+	flag.IntVar(&cfg.Frames, "frames", 0, "in-flight blocks (0 = default 8)")
+	flag.IntVar(&cfg.HopLatency, "hop", 0, "mesh hop latency (0 = default 1)")
+	flag.IntVar(&cfg.MemLatency, "memlat", 0, "DRAM latency (0 = default 100)")
+	flag.BoolVar(&cfg.CommitTokensFree, "free-commit", false, "commit tokens bypass the network")
+	flag.BoolVar(&cfg.NoSuppressIdentical, "no-suppress", false, "disable identical-value wave suppression")
+	flag.BoolVar(&cfg.PerfectBlockPred, "perfect-bp", false, "perfect next-block prediction")
+	flag.StringVar(&cfg.BlockPredictor, "bpred", "", "next-block predictor: twolevel, last, perfect")
+	flag.StringVar(&cfg.Placement, "placement", "", "instruction placement: roundrobin, chain")
+	flag.IntVar(&cfg.DTileBanks, "dbanks", 0, "D-tile memory ports (0 = default)")
+	flag.IntVar(&cfg.LSQCapacity, "lsqcap", 0, "LSQ entry capacity (0 = unbounded)")
+	flag.BoolVar(&cfg.ValuePredict, "vp", false, "stride load-value prediction (repaired by DSRE waves)")
+	timeline := flag.Bool("timeline", false, "render an execution timeline and wave report")
+	flag.Parse()
+	cfg.Seed = *seed
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range repro.Workloads() {
+			fmt.Printf("  %-10s %s\n", w, repro.WorkloadAnalog(w))
+		}
+		fmt.Printf("schemes: %s\n", strings.Join(repro.Schemes(), ", "))
+		return
+	}
+	if cfg.Workload == "" {
+		fmt.Fprintln(os.Stderr, "dsre-sim: -workload required (try -list)")
+		os.Exit(2)
+	}
+
+	schemes := []string{cfg.Scheme}
+	if *all {
+		schemes = repro.Schemes()
+	}
+	cfg.Trace = *timeline
+	for _, s := range schemes {
+		cfg.Scheme = s
+		res, err := repro.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsre-sim: %v\n", err)
+			os.Exit(1)
+		}
+		report(res)
+		if res.Trace != nil {
+			fmt.Print(res.Trace.Timeline(72))
+			fmt.Print(res.Trace.WaveReport(5))
+		}
+	}
+}
+
+func report(r *repro.Result) {
+	fmt.Printf("== %s / %s ==\n", r.Workload, r.Scheme)
+	fmt.Printf("  IPC %.3f  (%d instructions over %d cycles, %d blocks)\n",
+		r.IPC, r.Insts, r.Cycles, r.Blocks)
+	fmt.Printf("  violations %d  flushes %d  corrections %d  waves %d  re-execs %d\n",
+		r.Violations, r.Flushes, r.Corrections, r.Waves, r.Reexecs)
+	fmt.Printf("  verified against the architectural emulator: OK\n")
+	fmt.Printf("%s\n", indent(r.Sim.String(), "  "))
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

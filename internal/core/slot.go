@@ -1,0 +1,72 @@
+package core
+
+// OperandSlot is one reservation-station operand slot under the DSRE
+// protocol.  Unlike a conventional reservation station, a slot can be
+// written many times: each speculative wave that reaches the producing
+// instruction re-broadcasts a (value, tag) pair, and the slot keeps the
+// newest version.  A slot becomes committed when the trailing commit wave
+// delivers the final value.
+type OperandSlot struct {
+	Present   bool
+	Committed bool
+	Value     int64
+	Tag       Tag
+}
+
+// Deliver applies a speculative data message to the slot and reports
+// whether the consumer must (re-)execute.
+//
+// Rules, in order:
+//
+//   - a committed slot ignores all further data (the commit wave already
+//     certified the final value; anything still in flight is stale);
+//   - a strictly newer tag always wins;
+//   - an equal tag with a *different* value also wins: the same producer
+//     can legitimately re-fire with an unchanged maximum input tag when a
+//     lower-tagged operand changed, and link-level FIFO ordering guarantees
+//     the later message arrives later;
+//   - anything else is a stale message from an overtaken wave and is
+//     dropped.
+//
+// When suppressIdentical is set (the identical-value suppression
+// optimisation, ablation E7), a newer tag carrying an unchanged value
+// updates the slot's tag but reports no re-execution, stopping the wave.
+func (s *OperandSlot) Deliver(v int64, tag Tag, suppressIdentical bool) (reexec bool) {
+	if s.Committed {
+		return false
+	}
+	if !s.Present {
+		s.Present, s.Value, s.Tag = true, v, tag
+		return true
+	}
+	switch {
+	case tag > s.Tag:
+		same := s.Value == v
+		s.Value, s.Tag = v, tag
+		if same && suppressIdentical {
+			return false
+		}
+		return true
+	case tag == s.Tag && v != s.Value:
+		s.Value = v
+		return true
+	default:
+		return false
+	}
+}
+
+// DeliverCommit applies a commit token carrying the producer's final value.
+// The token doubles as a data message: if the slot holds a stale value (or
+// nothing), the final value is installed and the consumer must re-execute.
+// After this call the slot is committed and ignores further data.
+func (s *OperandSlot) DeliverCommit(v int64) (reexec bool) {
+	if s.Committed {
+		return false
+	}
+	reexec = !s.Present || s.Value != v
+	s.Present, s.Committed, s.Value = true, true, v
+	return reexec
+}
+
+// Reset clears the slot (used when a frame is squashed and remapped).
+func (s *OperandSlot) Reset() { *s = OperandSlot{} }

@@ -1,0 +1,55 @@
+package core
+
+import "repro/internal/stats"
+
+// WaveStats attributes re-executed instructions to the mis-speculation wave
+// that caused them.  Because instruction outputs carry the maximum of their
+// input tags, the tag value itself identifies the dominating wave origin:
+// every re-execution triggered (directly or transitively) by violation wave
+// T carries tag T until a newer wave overtakes it.
+type WaveStats struct {
+	// perWave counts re-executed instructions by wave tag.
+	perWave map[Tag]int64
+	// Reexecs is the total number of instruction re-executions (executions
+	// beyond the first for a given instruction instance).
+	Reexecs int64
+	// Waves is the number of recovery waves injected (violations repaired).
+	Waves int64
+}
+
+// NewWaveStats returns empty accounting.
+func NewWaveStats() *WaveStats {
+	return &WaveStats{perWave: make(map[Tag]int64)}
+}
+
+// WaveStarted records the injection of a recovery wave with the given tag.
+// Registering the origin (even if nothing downstream re-fires) makes
+// zero-length waves visible in the size histogram.
+func (w *WaveStats) WaveStarted(tag Tag) {
+	w.Waves++
+	w.perWave[tag] += 0
+}
+
+// Reexecuted records one instruction re-execution attributed to wave tag.
+func (w *WaveStats) Reexecuted(tag Tag) {
+	w.Reexecs++
+	w.perWave[tag]++
+}
+
+// SizeHist returns the histogram of wave sizes (re-executed instructions
+// per injected wave).
+func (w *WaveStats) SizeHist() *stats.Hist {
+	h := &stats.Hist{}
+	for _, n := range w.perWave {
+		h.Add(n)
+	}
+	return h
+}
+
+// MeanSize returns the average wave size.
+func (w *WaveStats) MeanSize() float64 {
+	if len(w.perWave) == 0 {
+		return 0
+	}
+	return float64(w.Reexecs) / float64(len(w.perWave))
+}

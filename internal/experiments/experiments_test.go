@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestE1ConfigTable(t *testing.T) {
+	s := E1ConfigTable().String()
+	for _, want := range []string{"execution grid", "4x4", "window 1024", "store-set", "L2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("config table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestKernelsNonEmpty(t *testing.T) {
+	ks := Kernels()
+	if len(ks) < 10 {
+		t.Fatalf("only %d kernels", len(ks))
+	}
+	for k := range ConflictKernels {
+		found := false
+		for _, n := range ks {
+			if n == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("conflict kernel %q not registered", k)
+		}
+	}
+}
+
+// TestQuickSizesTerminate ensures every kernel's quick size produces a
+// bounded run (matmul's size is a matrix dimension — cubic work — and has
+// burned us before).
+func TestQuickSizesTerminate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every kernel once")
+	}
+	o := Opts{Quick: true}
+	for _, k := range Kernels() {
+		r := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k)})
+		if r.Blocks <= 0 {
+			t.Errorf("%s: no blocks committed", k)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Block is one EDGE block: an atomic unit of fetch, map, execute and commit.
+// Instructions within a block form a DAG in index order (targets always point
+// to higher indices), which the validator in internal/program enforces.
+type Block struct {
+	ID     int
+	Name   string
+	Insts  []Inst
+	Reads  []RegRead
+	Writes []RegWrite
+}
+
+// NumMemOps returns the number of load/store instructions in the block.
+func (b *Block) NumMemOps() int {
+	n := 0
+	for i := range b.Insts {
+		if b.Insts[i].Op.IsMem() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumBranches returns the number of branch instructions in the block.
+func (b *Block) NumBranches() int {
+	n := 0
+	for i := range b.Insts {
+		if b.Insts[i].Op.IsBranch() {
+			n++
+		}
+	}
+	return n
+}
+
+// WritesReg reports whether the block declares a write slot for reg.
+func (b *Block) WritesReg(reg uint8) bool {
+	for _, w := range b.Writes {
+		if w.Reg == reg {
+			return true
+		}
+	}
+	return false
+}
+
+// String disassembles the block.
+func (b *Block) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "block %d %q  (%d insts, %d reads, %d writes)\n",
+		b.ID, b.Name, len(b.Insts), len(b.Reads), len(b.Writes))
+	for i, r := range b.Reads {
+		fmt.Fprintf(&sb, "  R%-3d %s\n", i, r)
+	}
+	for i := range b.Insts {
+		fmt.Fprintf(&sb, "  i%-3d %s\n", i, b.Insts[i].String())
+	}
+	for i, w := range b.Writes {
+		fmt.Fprintf(&sb, "  W%-3d %s\n", i, w)
+	}
+	return sb.String()
+}
+
+// Program is a complete EDGE program: a set of blocks and an entry block.
+// Execution starts at Entry and follows branch results until a branch
+// targets HaltTarget.
+type Program struct {
+	Name   string
+	Blocks []*Block
+	Entry  int
+}
+
+// Block returns the block with the given ID, or nil.
+func (p *Program) Block(id int) *Block {
+	if id < 0 || id >= len(p.Blocks) {
+		return nil
+	}
+	return p.Blocks[id]
+}
+
+// StaticInsts returns the total static instruction count across all blocks.
+func (p *Program) StaticInsts() int {
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// String disassembles the whole program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %q: %d blocks, entry %d\n", p.Name, len(p.Blocks), p.Entry)
+	for _, b := range p.Blocks {
+		sb.WriteString(b.String())
+	}
+	return sb.String()
+}

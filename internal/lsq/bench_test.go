@@ -1,0 +1,77 @@
+package lsq
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+func benchQueue(b *testing.B, policy core.IssuePolicy) (*Queue, *mem.Memory) {
+	b.Helper()
+	m := mem.New()
+	h, err := cache.NewHierarchy(cache.DefaultHierConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(Config{Policy: policy}, m, h, &core.TagSource{}, nil, nil), m
+}
+
+// BenchmarkForwardingScan measures byte-wise reconstruction against a
+// full window (8 blocks × 32 memory ops).
+func BenchmarkForwardingScan(b *testing.B) {
+	q, _ := benchQueue(b, core.IssueAggressive)
+	ops := make([]OpInfo, 32)
+	for i := range ops {
+		ops[i] = OpInfo{LSID: int8(i), IsStore: i%2 == 0, Size: 8}
+	}
+	for seq := int64(0); seq < 8; seq++ {
+		q.RegisterBlock(seq, ops)
+		for i := 0; i < 32; i += 2 {
+			q.StoreUpdate(Key{seq, int8(i)}, uint64(0x1000+8*((seq*16+int64(i))%64)), seq, false, false)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.reconstruct(Key{7, 31}, 0x1000, 8)
+	}
+}
+
+// BenchmarkViolationCheck measures the younger-load re-check a store
+// update performs.
+func BenchmarkViolationCheck(b *testing.B) {
+	q, _ := benchQueue(b, core.IssueAggressive)
+	ops := make([]OpInfo, 32)
+	for i := range ops {
+		ops[i] = OpInfo{LSID: int8(i), IsStore: i == 0, Size: 8}
+	}
+	for seq := int64(0); seq < 8; seq++ {
+		q.RegisterBlock(seq, ops)
+		for i := 1; i < 32; i++ {
+			q.LoadTry(0, Key{seq, int8(i)}, uint64(0x1000+8*int64(i%8)), 0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternating value prevents silent-store short-circuits from
+		// making the measurement trivial.
+		q.StoreUpdate(Key{0, 0}, 0x1000, int64(i&1), false, false)
+	}
+}
+
+// BenchmarkLoadIssue measures the end-to-end load path (policy check,
+// reconstruction, cache timing).
+func BenchmarkLoadIssue(b *testing.B) {
+	q, m := benchQueue(b, core.IssueAggressive)
+	m.Write(0x2000, 7, 8)
+	ops := make([]OpInfo, 1)
+	ops[0] = OpInfo{LSID: 0, Size: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := int64(i)
+		q.RegisterBlock(seq, ops)
+		q.LoadTry(int64(i), Key{seq, 0}, 0x2000, 0)
+		q.Drain(seq)
+	}
+}

@@ -1,0 +1,260 @@
+package lsq
+
+import (
+	"repro/internal/core"
+	"repro/internal/predictor"
+)
+
+// LoadResult is the outcome of a load issue attempt.
+type LoadResult struct {
+	Deferred bool
+	Reason   DeferReason
+	Value    int64
+	Tag      core.Tag
+	Latency  int
+	PC       predictor.PC // static identity, for value-predictor training
+}
+
+// LoadTry records a load execution (the address arriving at the LSQ) and
+// attempts to issue it under the configured policy.  Re-executions of the
+// same load (a new address under DSRE) re-enter here and produce a fresh
+// reply.  now is the current cycle, used for MSHR accounting.
+func (q *Queue) LoadTry(now int64, k Key, addr uint64, tag core.Tag) LoadResult {
+	e := q.get(k)
+	if e == nil || e.isStore {
+		return LoadResult{Deferred: true, Reason: DeferNone} // stale message for a squashed block
+	}
+	first := !e.hasExec
+	e.hasExec = true
+	e.addr = addr
+	if first {
+		q.Stats.Loads++
+	}
+	// Tag of the reply: never older than anything already sent for this
+	// load, so consumers accept the newest execution.
+	e.tag = core.MaxTag(e.tag, tag)
+	return q.tryIssue(now, e)
+}
+
+// tryIssue applies the policy and, if permitted, produces the load's value.
+func (q *Queue) tryIssue(now int64, e *entry) LoadResult {
+	if reason := q.mustDefer(e); reason != DeferNone {
+		if !e.deferred {
+			e.deferred = true
+			q.deferred = append(q.deferred, e.key)
+		}
+		if reason == DeferPolicy {
+			q.Stats.DeferredPolicy++
+		} else {
+			q.Stats.DeferredMSHR++
+		}
+		return LoadResult{Deferred: true, Reason: reason}
+	}
+	v, fwd := q.reconstruct(e.key, e.addr, e.size)
+	lat := q.cfg.ForwardLatency
+	if fwd == e.size {
+		q.Stats.Forwards++
+	} else {
+		clat, ok := q.hier.DataAccess(now, e.addr, false)
+		if !ok {
+			// All MSHRs busy: park and retry as time passes.
+			if !e.deferred {
+				e.deferred = true
+				q.deferred = append(q.deferred, e.key)
+			}
+			q.mshrWait = true
+			q.Stats.DeferredMSHR++
+			return LoadResult{Deferred: true, Reason: DeferMSHR}
+		}
+		if clat > lat {
+			lat = clat
+		}
+		if fwd > 0 {
+			q.Stats.PartialForwards++
+		}
+	}
+	e.issued = true
+	e.deferred = false
+	e.data = v
+	return LoadResult{Value: v, Tag: e.tag, Latency: lat, PC: e.pc}
+}
+
+// GuardLoad marks a flushed violating load: its replayed instance (same
+// dynamic key) issues conservatively, guaranteeing forward progress.
+func (q *Queue) GuardLoad(k Key) {
+	q.guard[k] = true
+	q.Stats.GuardedLoads++
+}
+
+// mustDefer evaluates the issue policy for a load whose address is known.
+func (q *Queue) mustDefer(e *entry) DeferReason {
+	if q.guard[e.key] && q.anyOlderStoreUnexecuted(e.key) {
+		return DeferPolicy
+	}
+	switch q.cfg.Policy {
+	case core.IssueAggressive:
+		return DeferNone
+	case core.IssueConservative:
+		if q.anyOlderStoreUnexecuted(e.key) {
+			return DeferPolicy
+		}
+		return DeferNone
+	case core.IssueStoreSet, core.IssueOracle:
+		if !e.waitValid || !e.waitFor.Valid() {
+			return DeferNone
+		}
+		w := Key{Seq: e.waitFor.Seq, LSID: e.waitFor.LSID}
+		if !w.Less(e.key) {
+			return DeferNone // not actually older; ignore
+		}
+		s := q.get(w)
+		if s == nil || !s.isStore || s.hasExec {
+			return DeferNone // gone from the window, or already executed
+		}
+		return DeferPolicy
+	}
+	return DeferNone
+}
+
+// anyOlderStoreUnexecuted reports whether some store older than k in the
+// window has not yet executed.
+func (q *Queue) anyOlderStoreUnexecuted(k Key) bool {
+	for _, b := range q.blocks {
+		if b.seq > k.Seq {
+			return false
+		}
+		for i := range b.ops {
+			s := &b.ops[i]
+			if !s.isStore || !s.key.Less(k) {
+				continue
+			}
+			if !s.hasExec {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TakeReady re-evaluates parked loads and returns those that can now issue.
+// Call once per cycle; it is cheap when nothing changed.  Loads parked on a
+// full MSHR file are retried every cycle regardless of queue events.
+func (q *Queue) TakeReady(now int64) []ReadyLoad {
+	if (!q.dirty && !q.mshrWait) || len(q.deferred) == 0 {
+		q.dirty = false
+		return nil
+	}
+	q.dirty = false
+	q.mshrWait = false
+	var out []ReadyLoad
+	kept := q.deferred[:0]
+	for _, k := range q.deferred {
+		e := q.get(k)
+		if e == nil || !e.deferred {
+			continue // squashed or already issued
+		}
+		r := q.tryIssue(now, e)
+		if r.Deferred {
+			kept = append(kept, k)
+			continue
+		}
+		out = append(out, ReadyLoad{Load: k, Addr: e.addr, Res: r})
+	}
+	q.deferred = kept
+	return out
+}
+
+// LoadInputsCommitted marks that the load's address operands are final (the
+// commit wave reached its inputs); the load becomes a certification
+// candidate.
+func (q *Queue) LoadInputsCommitted(k Key) {
+	e := q.get(k)
+	if e == nil || e.isStore || e.inputsCommitted {
+		return
+	}
+	e.inputsCommitted = true
+	q.certCand = append(q.certCand, k)
+	q.dirty = true
+}
+
+// CertifiedLoad is a load whose value is final.
+type CertifiedLoad struct {
+	Load  Key
+	Addr  uint64
+	Value int64
+}
+
+// TakeCertifiable returns loads that are newly certifiable: issued, address
+// final, and every older store committed.  The returned value is asserted
+// equal to the load's current value — every store update re-checked younger
+// loads, so a mismatch here would be a protocol bug.
+func (q *Queue) TakeCertifiable() []CertifiedLoad {
+	if len(q.certCand) == 0 {
+		return nil
+	}
+	var out []CertifiedLoad
+	kept := q.certCand[:0]
+	for _, k := range q.certCand {
+		e := q.get(k)
+		if e == nil {
+			continue
+		}
+		if e.certified {
+			continue
+		}
+		if !e.issued || !q.olderStoresSafe(e) {
+			kept = append(kept, k)
+			continue
+		}
+		v, _ := q.reconstruct(k, e.addr, e.size)
+		if v != e.data {
+			panic("lsq: certification value mismatch for " + k.String() + " (missed violation)")
+		}
+		e.certified = true
+		out = append(out, CertifiedLoad{Load: k, Addr: e.addr, Value: v})
+	}
+	q.certCand = kept
+	return out
+}
+
+// olderStoresSafe reports whether no older store can still change the
+// load's value: every older store is either fully committed, or has a
+// committed (final) address that provably does not overlap the load.  The
+// second case is what keeps the commit wave's memory leg from serialising
+// on false dependences: only true aliases wait for store data.
+func (q *Queue) olderStoresSafe(l *entry) bool {
+	k := l.key
+	for _, b := range q.blocks {
+		if b.seq > k.Seq {
+			return true
+		}
+		inOwn := b.seq == k.Seq
+		if !inOwn && b.uncommittedStores == 0 {
+			continue
+		}
+		for i := range b.ops {
+			s := &b.ops[i]
+			if !s.isStore || !s.key.Less(k) {
+				if inOwn && !s.key.Less(k) {
+					break
+				}
+				continue
+			}
+			if s.committed {
+				continue
+			}
+			if s.addrCommitted && s.hasExec && !s.null && !overlap(s.addr, s.size, l.addr, l.size) {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// Occupancy returns the number of resident entries (for stats).
+func (q *Queue) Occupancy() int { return q.occupancy() }
+
+// MarkDirty forces deferred-load re-evaluation on the next TakeReady (used
+// by the simulator after events the queue cannot see, e.g. MSHR drain).
+func (q *Queue) MarkDirty() { q.dirty = true }

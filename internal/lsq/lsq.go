@@ -1,0 +1,279 @@
+// Package lsq implements the load/store queue of the simulated EDGE
+// machine: the structure that gives dataflow execution conventional
+// sequential memory semantics (the central difficulty the paper's abstract
+// calls out versus single-assignment dataflow machines).
+//
+// Responsibilities:
+//
+//   - total memory order: dynamic memory operations are ordered by
+//     (block sequence, load/store ID);
+//   - store→load forwarding with byte-granularity reconstruction: a load's
+//     value is assembled byte-by-byte from the youngest older executed
+//     store covering each byte, falling back to committed memory;
+//   - load issue policy: conservative, aggressive, store-set-predicted or
+//     oracle-directed deferral of loads (the policies the paper compares);
+//   - violation detection: whenever a store executes, re-executes with a
+//     changed address/data, or nullifies, every younger issued load whose
+//     reconstructed value changes is reported for recovery (flush or DSRE);
+//   - the memory leg of the commit wave: a load certifies (may send commit
+//     tokens) only when its address is final and every older store is
+//     committed.
+package lsq
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/predictor"
+)
+
+// Key orders dynamic memory operations: block sequence first, then LSID.
+type Key struct {
+	Seq  int64
+	LSID int8
+}
+
+// Less reports whether k is older than o in memory order.
+func (k Key) Less(o Key) bool {
+	if k.Seq != o.Seq {
+		return k.Seq < o.Seq
+	}
+	return k.LSID < o.LSID
+}
+
+// String renders the key.
+func (k Key) String() string { return fmt.Sprintf("b%d.ls%d", k.Seq, k.LSID) }
+
+// OpInfo declares one memory operation at block map time.
+type OpInfo struct {
+	LSID    int8
+	IsStore bool
+	Size    int
+	PC      predictor.PC
+}
+
+// Violation reports a load whose previously returned value is stale.
+type Violation struct {
+	Load    Key
+	Addr    uint64 // the load's address (for D-tile bank routing)
+	Value   int64  // corrected value
+	Tag     core.Tag
+	LoadPC  predictor.PC
+	StorePC predictor.PC
+}
+
+// ReadyLoad is a load whose value is (now) available.
+type ReadyLoad struct {
+	Load Key
+	Addr uint64
+	Res  LoadResult
+}
+
+// DeferReason says why a load could not issue, for statistics.
+type DeferReason int
+
+// Deferral reasons.
+const (
+	DeferNone DeferReason = iota
+	DeferPolicy
+	DeferMSHR
+)
+
+// Stats counts LSQ events.
+type Stats struct {
+	Loads            int64
+	Stores           int64
+	Forwards         int64 // loads fully satisfied by forwarding
+	PartialForwards  int64 // loads mixing store bytes and memory bytes
+	Violations       int64
+	SilentStoreHits  int64 // store updates that changed no load's value
+	DeferredPolicy   int64
+	DeferredMSHR     int64
+	GuardedLoads     int64
+	PeakOccupancy    int
+}
+
+// Config parameterises the queue.
+type Config struct {
+	Policy core.IssuePolicy
+	// ForwardLatency is the store→load forwarding latency in cycles.
+	ForwardLatency int
+	// ViolationLatency is the delay before a corrected value is
+	// re-broadcast after a violation is detected.
+	ViolationLatency int
+}
+
+type entry struct {
+	key     Key
+	pc      predictor.PC
+	isStore bool
+	size    int
+
+	// Dynamic state (latest execution).
+	hasExec bool
+	null    bool
+	addr    uint64
+	data    int64 // store data, or the load's last returned value
+	tag     core.Tag
+
+	// Load state.
+	issued          bool
+	deferred        bool
+	waitFor         predictor.DynRef
+	waitValid       bool // waitFor was captured
+	inputsCommitted bool
+	certified       bool
+
+	// Store commit state.  addrCommitted/dataCommitted arrive separately
+	// (the commit wave reaches the address and data operands independently);
+	// committed means both, or a committed null.
+	addrCommitted bool
+	dataCommitted bool
+	committed     bool
+}
+
+type blockOps struct {
+	seq               int64
+	ops               []entry // indexed by LSID (dense from validator)
+	uncommittedStores int
+}
+
+// Queue is the load/store queue.
+type Queue struct {
+	cfg    Config
+	mem    *mem.Memory
+	hier   *cache.Hierarchy
+	tags   *core.TagSource
+	ss     *predictor.StoreSet
+	oracle *predictor.Oracle
+
+	blocks []*blockOps // ascending seq
+	bySeq  map[int64]*blockOps
+
+	deferred []Key // parked loads, re-evaluated when dirty
+	dirty    bool
+	mshrWait bool // some load parked on MSHR pressure; retry every cycle
+
+	// guard holds dynamic loads that violated and were flushed: their
+	// refetched instances (same key) replay conservatively, which is what
+	// keeps flush recovery livelock-free when a load conflicts with a
+	// store in its own block.
+	guard map[Key]bool
+
+	certCand []Key // loads awaiting certification
+
+	// ValidateDrain, when set (tests), is called for every drained store
+	// with its final address and data; an error aborts the run loudly.
+	ValidateDrain func(k Key, addr uint64, data int64, size int) error
+
+	Stats Stats
+}
+
+// New builds a queue.  mem holds committed state; hier provides data-side
+// timing; tags allocates violation wave tags; ss and oracle may be nil when
+// the policy does not use them.
+func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, tags *core.TagSource, ss *predictor.StoreSet, oracle *predictor.Oracle) *Queue {
+	if cfg.ForwardLatency <= 0 {
+		cfg.ForwardLatency = 1
+	}
+	if cfg.ViolationLatency <= 0 {
+		cfg.ViolationLatency = 1
+	}
+	return &Queue{
+		cfg:    cfg,
+		mem:    m,
+		hier:   hier,
+		tags:   tags,
+		ss:     ss,
+		oracle: oracle,
+		bySeq:  make(map[int64]*blockOps),
+		guard:  make(map[Key]bool),
+	}
+}
+
+// RegisterBlock reserves entries for a block's memory operations at map
+// time.  Blocks must be registered in ascending sequence order.
+func (q *Queue) RegisterBlock(seq int64, ops []OpInfo) {
+	if len(q.blocks) > 0 && q.blocks[len(q.blocks)-1].seq >= seq {
+		panic(fmt.Sprintf("lsq: block %d registered after %d", seq, q.blocks[len(q.blocks)-1].seq))
+	}
+	b := &blockOps{seq: seq, ops: make([]entry, len(ops))}
+	for i, op := range ops {
+		if int(op.LSID) != i {
+			panic(fmt.Sprintf("lsq: block %d ops not dense at %d", seq, i))
+		}
+		e := entry{key: Key{seq, op.LSID}, pc: op.PC, isStore: op.IsStore, size: op.Size}
+		ref := predictor.DynRef{Seq: seq, LSID: op.LSID}
+		// Dependence capture happens here, in LSID (dispatch) order, so a
+		// load's LFST lookup sees exactly the stores older than it — the
+		// in-order dispatch semantics of the store-set design.
+		switch {
+		case op.IsStore:
+			b.uncommittedStores++
+			if q.ss != nil {
+				q.ss.StoreFetched(op.PC, ref)
+			}
+		case q.cfg.Policy == core.IssueStoreSet && q.ss != nil:
+			e.waitFor = q.ss.LoadDependence(op.PC)
+			e.waitValid = true
+		case q.cfg.Policy == core.IssueOracle && q.oracle != nil:
+			e.waitFor = q.oracle.LoadDependence(ref)
+			e.waitValid = true
+		}
+		b.ops[i] = e
+	}
+	q.blocks = append(q.blocks, b)
+	q.bySeq[seq] = b
+	if n := q.occupancy(); n > q.Stats.PeakOccupancy {
+		q.Stats.PeakOccupancy = n
+	}
+}
+
+func (q *Queue) occupancy() int {
+	n := 0
+	for _, b := range q.blocks {
+		n += len(b.ops)
+	}
+	return n
+}
+
+func (q *Queue) get(k Key) *entry {
+	b := q.bySeq[k.Seq]
+	if b == nil || int(k.LSID) >= len(b.ops) {
+		return nil
+	}
+	return &b.ops[k.LSID]
+}
+
+// SquashFrom removes every block with sequence >= seq.
+func (q *Queue) SquashFrom(seq int64) {
+	kept := q.blocks[:0]
+	for _, b := range q.blocks {
+		if b.seq >= seq {
+			delete(q.bySeq, b.seq)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	q.blocks = kept
+	q.filterKeys(&q.deferred, seq)
+	q.filterKeys(&q.certCand, seq)
+	q.dirty = true
+}
+
+func (q *Queue) filterKeys(keys *[]Key, fromSeq int64) {
+	kept := (*keys)[:0]
+	for _, k := range *keys {
+		if k.Seq < fromSeq {
+			kept = append(kept, k)
+		}
+	}
+	*keys = kept
+}
+
+// overlap reports whether [a, a+as) and [b, b+bs) intersect.
+func overlap(a uint64, as int, b uint64, bs int) bool {
+	return a < b+uint64(bs) && b < a+uint64(as)
+}

@@ -1,0 +1,231 @@
+package lsq
+
+import "repro/internal/predictor"
+
+// StoreUpdate records a store execution (or re-execution under DSRE: the
+// same store arriving again with a possibly different address or data) and
+// returns the violations it exposes: younger issued loads whose
+// reconstructed value changed.
+func (q *Queue) StoreUpdate(k Key, addr uint64, data int64, addrCom, dataCom bool) []Violation {
+	e := q.get(k)
+	if e == nil || !e.isStore {
+		return nil // stale message for a squashed block
+	}
+	first := !e.hasExec
+	oldAddr, oldSize, wasLive := e.addr, e.size, e.hasExec && !e.null
+	e.hasExec = true
+	e.null = false
+	e.addr = addr
+	e.data = data
+	if addrCom && !e.addrCommitted {
+		e.addrCommitted = true
+	}
+	if dataCom && !e.dataCommitted {
+		e.dataCommitted = true
+	}
+	if e.addrCommitted && e.dataCommitted {
+		q.markStoreCommitted(e)
+	}
+	if first {
+		q.Stats.Stores++
+		if q.ss != nil {
+			q.ss.StoreDone(e.pc, predictor.DynRef{Seq: k.Seq, LSID: k.LSID})
+		}
+	}
+	q.dirty = true
+
+	// Affected range: where the store's bytes used to land plus where they
+	// land now.
+	var vs []Violation
+	vs = q.recheckLoads(k, addr, e.size, vs)
+	if wasLive && (oldAddr != addr || oldSize != e.size) {
+		vs = q.recheckLoads(k, oldAddr, oldSize, vs)
+	}
+	if len(vs) == 0 && !first {
+		q.Stats.SilentStoreHits++
+	}
+	return vs
+}
+
+// StoreNullify records that a predicated store resolved to not execute.
+// Loads that had forwarded from a previous (mis-speculated) execution of
+// this store must be re-checked.
+func (q *Queue) StoreNullify(k Key) []Violation {
+	e := q.get(k)
+	if e == nil || !e.isStore {
+		return nil
+	}
+	first := !e.hasExec
+	oldAddr, oldSize, wasLive := e.addr, e.size, e.hasExec && !e.null
+	e.hasExec = true
+	e.null = true
+	if first {
+		q.Stats.Stores++
+		if q.ss != nil {
+			q.ss.StoreDone(e.pc, predictor.DynRef{Seq: k.Seq, LSID: k.LSID})
+		}
+	}
+	q.dirty = true
+	if wasLive {
+		return q.recheckLoads(k, oldAddr, oldSize, nil)
+	}
+	return nil
+}
+
+// recheckLoads re-reconstructs every younger issued load overlapping
+// [addr, addr+size) and emits violations for those whose value changed.
+func (q *Queue) recheckLoads(store Key, addr uint64, size int, vs []Violation) []Violation {
+	if size == 0 {
+		return vs
+	}
+	storePC := q.get(store).pc
+	for _, b := range q.blocks {
+		if b.seq < store.Seq {
+			continue
+		}
+		for i := range b.ops {
+			l := &b.ops[i]
+			if l.isStore || !l.issued || !store.Less(l.key) {
+				continue
+			}
+			if !overlap(l.addr, l.size, addr, size) {
+				continue
+			}
+			v, _ := q.reconstruct(l.key, l.addr, l.size)
+			if v == l.data {
+				continue
+			}
+			if l.certified {
+				panic("lsq: certified load " + l.key.String() + " violated by store " + store.String() + " (unsound certification)")
+			}
+			l.data = v
+			l.tag = q.tags.Next()
+			q.Stats.Violations++
+			if q.ss != nil {
+				q.ss.Violation(l.pc, storePC)
+			}
+			vs = append(vs, Violation{
+				Load:    l.key,
+				Addr:    l.addr,
+				Value:   v,
+				Tag:     l.tag,
+				LoadPC:  l.pc,
+				StorePC: storePC,
+			})
+		}
+	}
+	return vs
+}
+
+// reconstruct assembles the value a load at key sees: for each byte, the
+// youngest older live store covering it wins; uncovered bytes come from
+// committed memory.  forwarded is the number of bytes supplied by stores.
+func (q *Queue) reconstruct(k Key, addr uint64, size int) (val int64, forwarded int) {
+	var bytes [8]byte
+	var have [8]bool
+	remaining := size
+
+	// Walk blocks youngest-to-oldest up to the load's block.
+	for bi := len(q.blocks) - 1; bi >= 0 && remaining > 0; bi-- {
+		b := q.blocks[bi]
+		if b.seq > k.Seq {
+			continue
+		}
+		for si := len(b.ops) - 1; si >= 0 && remaining > 0; si-- {
+			s := &b.ops[si]
+			if !s.isStore || !s.hasExec || s.null || !s.key.Less(k) {
+				continue
+			}
+			if !overlap(addr, size, s.addr, s.size) {
+				continue
+			}
+			for i := 0; i < size; i++ {
+				if have[i] {
+					continue
+				}
+				ba := addr + uint64(i)
+				if ba >= s.addr && ba < s.addr+uint64(s.size) {
+					bytes[i] = byte(uint64(s.data) >> (8 * (ba - s.addr)))
+					have[i] = true
+					remaining--
+				}
+			}
+		}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		bv := bytes[i]
+		if !have[i] {
+			bv = q.mem.ByteAt(addr + uint64(i))
+		}
+		v |= uint64(bv) << (8 * i)
+	}
+	return int64(v), size - remaining
+}
+
+// StoreCommitted marks a store's output final (its operand inputs are
+// committed and it has executed with them, or it is committed-null).  This
+// is the memory leg of the commit wave: younger loads may certify once all
+// their older stores are committed.
+func (q *Queue) StoreCommitted(k Key) {
+	e := q.get(k)
+	if e == nil || !e.isStore {
+		return
+	}
+	q.markStoreCommitted(e)
+}
+
+func (q *Queue) markStoreCommitted(e *entry) {
+	if e.committed {
+		return
+	}
+	e.committed = true
+	e.addrCommitted = true
+	e.dataCommitted = true
+	if b := q.bySeq[e.key.Seq]; b != nil {
+		b.uncommittedStores--
+	}
+	q.dirty = true
+}
+
+// Drain applies the oldest block's stores to committed memory in LSID
+// order, removes the block's entries, and returns the number of memory
+// writes performed (for cache-drain accounting by the caller).
+func (q *Queue) Drain(seq int64) int {
+	b := q.bySeq[seq]
+	if b == nil {
+		return 0
+	}
+	if len(q.blocks) == 0 || q.blocks[0].seq != seq {
+		panic("lsq: drain of non-oldest block")
+	}
+	writes := 0
+	for i := range b.ops {
+		s := &b.ops[i]
+		if !s.isStore || s.null {
+			continue
+		}
+		if !s.hasExec {
+			panic("lsq: drain of unexecuted store " + s.key.String())
+		}
+		if q.ValidateDrain != nil {
+			if err := q.ValidateDrain(s.key, s.addr, s.data, s.size); err != nil {
+				panic(err)
+			}
+		}
+		q.mem.Write(s.addr, s.data, s.size)
+		if q.hier != nil {
+			q.hier.L1D.Access(s.addr, true)
+		}
+		writes++
+	}
+	for k := range q.guard {
+		if k.Seq <= seq {
+			delete(q.guard, k)
+		}
+	}
+	delete(q.bySeq, seq)
+	q.blocks = q.blocks[1:]
+	q.dirty = true
+	return writes
+}

@@ -1,0 +1,240 @@
+// Package noc models the operand network of a TRIPS-like EDGE processor: a
+// 2-D mesh with dimension-order (X-then-Y) routing, a configurable per-hop
+// latency, and per-link bandwidth with FIFO queueing.
+//
+// The network is generic over its payload so it carries operand messages,
+// commit-wave tokens, memory traffic and control messages without knowing
+// their contents.  Links preserve FIFO order, but messages taking different
+// routes may be reordered — the DSRE protocol's wave tags are what make that
+// safe, and the simulator's tests rely on it.
+package noc
+
+import "fmt"
+
+// Dir is a mesh link direction.
+type dir int
+
+const (
+	dirE dir = iota
+	dirW
+	dirN
+	dirS
+	numDirs
+)
+
+// Config describes the mesh.
+type Config struct {
+	Width  int
+	Height int
+	// HopLatency is the per-hop transit time in cycles (>= 1).
+	HopLatency int
+	// LinkBandwidth is the number of messages one link accepts per cycle.
+	LinkBandwidth int
+	// LocalLatency is the delivery delay for messages whose source and
+	// destination coincide (same-tile bypass); >= 1.
+	LocalLatency int
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Messages  int64 // injected
+	Delivered int64
+	Hops      int64 // link traversals
+	QueueWait int64 // cycles messages spent waiting for link bandwidth
+}
+
+type flit[T any] struct {
+	msg      T
+	dst      int
+	enqueued int64 // cycle it entered the current queue, for QueueWait
+}
+
+type transit[T any] struct {
+	flit     flit[T]
+	arriveAt int64
+}
+
+type router[T any] struct {
+	out [numDirs][]flit[T]
+	// inTransit holds flits this router has transmitted that have not yet
+	// reached the neighbouring router.
+	inTransit [numDirs][]transit[T]
+}
+
+// Network is the mesh.  Deliver is invoked during Tick for every message
+// reaching its destination's local port.
+type Network[T any] struct {
+	cfg     Config
+	routers []router[T]
+	local   []transit[T] // src==dst messages awaiting local delivery
+	deliver func(now int64, node int, msg T)
+	pending int
+	Stats   Stats
+}
+
+// New builds a mesh network.  deliver must not call back into Send
+// synchronously for the same cycle's delivery (enqueueing is fine).
+func New[T any](cfg Config, deliver func(now int64, node int, msg T)) (*Network[T], error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("noc: %dx%d mesh", cfg.Width, cfg.Height)
+	}
+	if cfg.HopLatency < 1 {
+		return nil, fmt.Errorf("noc: hop latency %d < 1", cfg.HopLatency)
+	}
+	if cfg.LinkBandwidth < 1 {
+		return nil, fmt.Errorf("noc: link bandwidth %d < 1", cfg.LinkBandwidth)
+	}
+	if cfg.LocalLatency < 1 {
+		return nil, fmt.Errorf("noc: local latency %d < 1", cfg.LocalLatency)
+	}
+	return &Network[T]{
+		cfg:     cfg,
+		routers: make([]router[T], cfg.Width*cfg.Height),
+		deliver: deliver,
+	}, nil
+}
+
+// Node converts mesh coordinates to a node index.
+func (n *Network[T]) Node(x, y int) int { return y*n.cfg.Width + x }
+
+// Coords converts a node index back to mesh coordinates.
+func (n *Network[T]) Coords(node int) (x, y int) {
+	return node % n.cfg.Width, node / n.cfg.Width
+}
+
+// Distance returns the Manhattan distance between two nodes.
+func (n *Network[T]) Distance(a, b int) int {
+	ax, ay := n.Coords(a)
+	bx, by := n.Coords(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Send injects a message at src destined for dst.
+func (n *Network[T]) Send(now int64, src, dst int, msg T) {
+	n.Stats.Messages++
+	n.pending++
+	if src == dst {
+		n.local = append(n.local, transit[T]{
+			flit:     flit[T]{msg: msg, dst: dst},
+			arriveAt: now + int64(n.cfg.LocalLatency),
+		})
+		return
+	}
+	d := n.route(src, dst)
+	n.routers[src].out[d] = append(n.routers[src].out[d], flit[T]{msg: msg, dst: dst, enqueued: now})
+}
+
+// route picks the next direction from node toward dst (X first, then Y).
+func (n *Network[T]) route(node, dst int) dir {
+	x, y := n.Coords(node)
+	dx, dy := n.Coords(dst)
+	switch {
+	case dx > x:
+		return dirE
+	case dx < x:
+		return dirW
+	case dy > y:
+		return dirN
+	default:
+		return dirS
+	}
+}
+
+// neighbor returns the node on the other end of a link.
+func (n *Network[T]) neighbor(node int, d dir) int {
+	x, y := n.Coords(node)
+	switch d {
+	case dirE:
+		x++
+	case dirW:
+		x--
+	case dirN:
+		y++
+	case dirS:
+		y--
+	}
+	return n.Node(x, y)
+}
+
+// Tick advances the network one cycle: arrivals are processed (delivered or
+// forwarded), then each link transmits up to its bandwidth.
+func (n *Network[T]) Tick(now int64) {
+	// Local deliveries.  The deliver callback may Send again (including to
+	// the same node), so the pending list is detached before iterating —
+	// a compact-in-place filter would silently drop messages enqueued
+	// during delivery.
+	pending := n.local
+	n.local = nil
+	for _, t := range pending {
+		if t.arriveAt <= now {
+			n.Stats.Delivered++
+			n.pending--
+			n.deliver(now, t.flit.dst, t.flit.msg)
+		} else {
+			n.local = append(n.local, t)
+		}
+	}
+
+	// Arrivals at the far end of each link.
+	for node := range n.routers {
+		r := &n.routers[node]
+		for d := dir(0); d < numDirs; d++ {
+			ts := r.inTransit[d]
+			if len(ts) == 0 {
+				continue
+			}
+			keep := ts[:0]
+			for _, t := range ts {
+				if t.arriveAt > now {
+					keep = append(keep, t)
+					continue
+				}
+				at := n.neighbor(node, d)
+				if at == t.flit.dst {
+					n.Stats.Delivered++
+					n.pending--
+					n.deliver(now, at, t.flit.msg)
+					continue
+				}
+				nd := n.route(at, t.flit.dst)
+				t.flit.enqueued = now
+				n.routers[at].out[nd] = append(n.routers[at].out[nd], t.flit)
+			}
+			r.inTransit[d] = keep
+		}
+	}
+
+	// Transmissions, bounded by link bandwidth.
+	for node := range n.routers {
+		r := &n.routers[node]
+		for d := dir(0); d < numDirs; d++ {
+			q := r.out[d]
+			if len(q) == 0 {
+				continue
+			}
+			k := n.cfg.LinkBandwidth
+			if k > len(q) {
+				k = len(q)
+			}
+			for i := 0; i < k; i++ {
+				f := q[i]
+				n.Stats.Hops++
+				n.Stats.QueueWait += now - f.enqueued
+				r.inTransit[d] = append(r.inTransit[d], transit[T]{flit: f, arriveAt: now + int64(n.cfg.HopLatency)})
+			}
+			m := copy(q, q[k:])
+			r.out[d] = q[:m]
+		}
+	}
+}
+
+// Pending returns the number of messages in flight (injected, not yet
+// delivered); zero means the network is quiet.
+func (n *Network[T]) Pending() int { return n.pending }

@@ -1,0 +1,201 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type rec struct {
+	now  int64
+	node int
+	msg  int
+}
+
+func newTestNet(t *testing.T, cfg Config) (*Network[int], *[]rec) {
+	t.Helper()
+	var got []rec
+	n, err := New[int](cfg, func(now int64, node int, msg int) {
+		got = append(got, rec{now, node, msg})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The callback closes over got's address via the returned pointer.
+	_ = n
+	return n, &got
+}
+
+func run(n *Network[int], from, to int64) {
+	for c := from; c <= to; c++ {
+		n.Tick(c)
+	}
+}
+
+func TestDeliveryLatencyMatchesDistance(t *testing.T) {
+	cfg := Config{Width: 4, Height: 4, HopLatency: 1, LinkBandwidth: 1, LocalLatency: 1}
+	n, got := newTestNet(t, cfg)
+	src := n.Node(0, 0)
+	dst := n.Node(3, 2)
+	n.Send(0, src, dst, 7)
+	run(n, 0, 20)
+	if len(*got) != 1 {
+		t.Fatalf("deliveries = %v", *got)
+	}
+	d := (*got)[0]
+	if d.node != dst || d.msg != 7 {
+		t.Fatalf("delivery = %+v", d)
+	}
+	// 5 hops at latency 1; the message transmits on the Tick after Send.
+	if want := int64(n.Distance(src, dst)); d.now != want {
+		t.Errorf("arrival at %d, want %d", d.now, want)
+	}
+	if n.Pending() != 0 {
+		t.Error("network not quiet")
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	cfg := Config{Width: 2, Height: 2, HopLatency: 1, LinkBandwidth: 1, LocalLatency: 1}
+	n, got := newTestNet(t, cfg)
+	n.Send(0, 3, 3, 9)
+	run(n, 0, 3)
+	if len(*got) != 1 || (*got)[0].now != 1 {
+		t.Fatalf("got = %v", *got)
+	}
+}
+
+func TestHopLatencyScales(t *testing.T) {
+	for _, hop := range []int{1, 2, 4} {
+		cfg := Config{Width: 4, Height: 1, HopLatency: hop, LinkBandwidth: 4, LocalLatency: 1}
+		n, got := newTestNet(t, cfg)
+		n.Send(0, 0, 3, 1)
+		run(n, 0, 50)
+		if len(*got) != 1 {
+			t.Fatalf("hop=%d: got %v", hop, *got)
+		}
+		if want := int64(3 * hop); (*got)[0].now != want {
+			t.Errorf("hop=%d: arrival %d, want %d", hop, (*got)[0].now, want)
+		}
+	}
+}
+
+func TestFIFOOrderOnSameRoute(t *testing.T) {
+	cfg := Config{Width: 4, Height: 1, HopLatency: 1, LinkBandwidth: 1, LocalLatency: 1}
+	n, got := newTestNet(t, cfg)
+	for i := 0; i < 5; i++ {
+		n.Send(0, 0, 3, i)
+	}
+	run(n, 0, 30)
+	if len(*got) != 5 {
+		t.Fatalf("got = %v", *got)
+	}
+	for i, d := range *got {
+		if d.msg != i {
+			t.Fatalf("out of order: %v", *got)
+		}
+		if i > 0 && d.now < (*got)[i-1].now {
+			t.Fatalf("time went backwards: %v", *got)
+		}
+	}
+}
+
+func TestBandwidthContention(t *testing.T) {
+	// 10 messages across one link at bandwidth 1 vs bandwidth 4.
+	arrivalSpan := func(bw int) int64 {
+		cfg := Config{Width: 2, Height: 1, HopLatency: 1, LinkBandwidth: bw, LocalLatency: 1}
+		var last int64
+		n, _ := New[int](cfg, func(now int64, node int, msg int) { last = now })
+		for i := 0; i < 10; i++ {
+			n.Send(0, 0, 1, i)
+		}
+		for c := int64(0); c <= 40; c++ {
+			n.Tick(c)
+		}
+		if n.Pending() != 0 {
+			t.Fatalf("bw=%d: network not drained", bw)
+		}
+		return last
+	}
+	if narrow, wide := arrivalSpan(1), arrivalSpan(4); narrow <= wide {
+		t.Errorf("bandwidth 1 finished at %d, not slower than bandwidth 4 at %d", narrow, wide)
+	}
+}
+
+// TestAllPairsDelivery property: any (src, dst) pair delivers exactly once,
+// to the right node, within (distance × hop) + slack cycles.
+func TestAllPairsDelivery(t *testing.T) {
+	cfg := Config{Width: 5, Height: 3, HopLatency: 2, LinkBandwidth: 2, LocalLatency: 1}
+	f := func(s, d uint8) bool {
+		src := int(s) % (cfg.Width * cfg.Height)
+		dst := int(d) % (cfg.Width * cfg.Height)
+		var deliveries []rec
+		n, _ := New[int](cfg, func(now int64, node int, msg int) {
+			deliveries = append(deliveries, rec{now, node, msg})
+		})
+		n.Send(0, src, dst, 1)
+		for c := int64(0); c <= 100; c++ {
+			n.Tick(c)
+		}
+		if len(deliveries) != 1 || deliveries[0].node != dst {
+			return false
+		}
+		wantMax := int64(n.Distance(src, dst)*cfg.HopLatency) + 2
+		return deliveries[0].now <= wantMax && n.Pending() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Height: 1, HopLatency: 1, LinkBandwidth: 1, LocalLatency: 1},
+		{Width: 1, Height: 1, HopLatency: 0, LinkBandwidth: 1, LocalLatency: 1},
+		{Width: 1, Height: 1, HopLatency: 1, LinkBandwidth: 0, LocalLatency: 1},
+		{Width: 1, Height: 1, HopLatency: 1, LinkBandwidth: 1, LocalLatency: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := New[int](cfg, func(int64, int, int) {}); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestSendDuringLocalDelivery is the regression test for a lost-message
+// bug: a handler that Sends to its own node while a local delivery is being
+// processed must not have that message dropped by the pending-list filter.
+func TestSendDuringLocalDelivery(t *testing.T) {
+	cfg := Config{Width: 2, Height: 2, HopLatency: 1, LinkBandwidth: 1, LocalLatency: 1}
+	var got []int
+	var n *Network[int]
+	n, _ = New[int](cfg, func(now int64, node int, msg int) {
+		got = append(got, msg)
+		if msg < 3 {
+			n.Send(now, node, node, msg+1) // chain of self-sends
+		}
+	})
+	n.Send(0, 2, 2, 0)
+	for c := int64(0); c <= 20; c++ {
+		n.Tick(c)
+	}
+	if len(got) != 4 || n.Pending() != 0 {
+		t.Fatalf("got %v, pending %d; chained self-sends were lost", got, n.Pending())
+	}
+}
+
+// BenchmarkMeshThroughput measures steady-state message delivery on the
+// default-sized mesh.
+func BenchmarkMeshThroughput(b *testing.B) {
+	cfg := Config{Width: 5, Height: 5, HopLatency: 1, LinkBandwidth: 4, LocalLatency: 1}
+	n, _ := New[int](cfg, func(int64, int, int) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cyc := int64(i)
+		n.Send(cyc, i%25, (i*7)%25, i)
+		n.Tick(cyc)
+	}
+	// Drain so Pending doesn't grow unboundedly across -benchtime runs.
+	for c := int64(b.N); n.Pending() > 0; c++ {
+		n.Tick(c)
+	}
+}

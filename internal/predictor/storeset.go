@@ -1,0 +1,206 @@
+// Package predictor implements the load-store dependence predictors the
+// paper compares against: the store-set predictor of Chrysos & Emer (the
+// "best dependence predictor proposed to date" referenced in the abstract)
+// and the perfect oracle driven by an emulator pre-pass.  The trivial
+// conservative and aggressive policies need no state and live in the
+// simulator's load-issue logic.
+package predictor
+
+import "fmt"
+
+// PC identifies a static instruction: block ID in the high bits, index in
+// the low byte.
+type PC uint32
+
+// MakePC builds a PC from a block ID and instruction index.
+func MakePC(blockID int, instIdx int) PC {
+	return PC(uint32(blockID)<<8 | uint32(instIdx)&0xff)
+}
+
+// String renders the PC.
+func (p PC) String() string { return fmt.Sprintf("b%d.i%d", p>>8, p&0xff) }
+
+// DynRef identifies a dynamic memory operation: the dynamic block sequence
+// number and the load/store ID within the block.  NoDynRef means "none".
+type DynRef struct {
+	Seq  int64
+	LSID int8
+}
+
+// NoDynRef is the absent reference.
+var NoDynRef = DynRef{Seq: -1}
+
+// Valid reports whether the reference names a real operation.
+func (r DynRef) Valid() bool { return r.Seq >= 0 }
+
+// Config sizes the store-set predictor.
+type Config struct {
+	// SSITSize is the number of Store Set ID Table entries (a power of
+	// two); both loads and stores index it by hashed PC.
+	SSITSize int
+	// ClearInterval invalidates the whole SSIT after this many training
+	// events, the cyclic-clearing scheme from the store-set paper that
+	// bounds the damage of stale dependences.  Zero disables clearing.
+	ClearInterval int64
+}
+
+// DefaultConfig mirrors the configuration used in the store-set paper
+// scaled to this machine: 16K SSIT entries, cleared every million events.
+func DefaultConfig() Config {
+	return Config{SSITSize: 16384, ClearInterval: 1 << 20}
+}
+
+// StoreSet is the Chrysos & Emer store-set dependence predictor: the SSIT
+// maps static loads and stores to store-set IDs; the LFST tracks the last
+// fetched, not-yet-executed store of each set.  A load whose set has an
+// outstanding store waits for that specific store.
+//
+// Simplification vs. the original: stores within a set are not serialised
+// against each other (store-store ordering existed to keep the D-cache
+// write order simple, which this LSQ does not need).
+type StoreSet struct {
+	cfg      Config
+	ssit     []int32 // PC hash -> SSID, -1 invalid
+	lfst     []DynRef
+	events   int64
+	nextSSID int32
+
+	// Stats.
+	Merges     int64 // violation-driven set assignments
+	Clears     int64
+	LoadWaits  int64 // loads told to wait
+	LoadFrees  int64 // loads told to go
+}
+
+// New builds a predictor.
+func New(cfg Config) (*StoreSet, error) {
+	if cfg.SSITSize <= 0 || cfg.SSITSize&(cfg.SSITSize-1) != 0 {
+		return nil, fmt.Errorf("predictor: SSIT size %d is not a power of two", cfg.SSITSize)
+	}
+	s := &StoreSet{
+		cfg:  cfg,
+		ssit: make([]int32, cfg.SSITSize),
+		lfst: make([]DynRef, cfg.SSITSize),
+	}
+	s.clear()
+	return s, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *StoreSet {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *StoreSet) clear() {
+	for i := range s.ssit {
+		s.ssit[i] = -1
+		s.lfst[i] = NoDynRef
+	}
+	s.nextSSID = 0
+}
+
+func (s *StoreSet) index(pc PC) int {
+	h := uint32(pc) * 2654435761
+	return int(h) & (len(s.ssit) - 1)
+}
+
+func (s *StoreSet) tick() {
+	s.events++
+	if s.cfg.ClearInterval > 0 && s.events%s.cfg.ClearInterval == 0 {
+		s.clear()
+		s.Clears++
+	}
+}
+
+// StoreFetched records that a dynamic store instance entered the window.
+// Call at block map time for every store in the block.
+func (s *StoreSet) StoreFetched(pc PC, ref DynRef) {
+	s.tick()
+	i := s.index(pc)
+	if ssid := s.ssit[i]; ssid >= 0 {
+		s.lfst[int(ssid)&(len(s.lfst)-1)] = ref
+	}
+}
+
+// StoreDone records that a dynamic store instance executed (its address is
+// known) or left the window; the set's LFST entry is cleared if it still
+// names this instance.
+func (s *StoreSet) StoreDone(pc PC, ref DynRef) {
+	i := s.index(pc)
+	if ssid := s.ssit[i]; ssid >= 0 {
+		li := int(ssid) & (len(s.lfst) - 1)
+		if s.lfst[li] == ref {
+			s.lfst[li] = NoDynRef
+		}
+	}
+}
+
+// LoadDependence returns the dynamic store the load should wait for, or
+// NoDynRef if the load may issue immediately.  Call when the load's address
+// becomes ready.
+func (s *StoreSet) LoadDependence(pc PC) DynRef {
+	s.tick()
+	i := s.index(pc)
+	ssid := s.ssit[i]
+	if ssid < 0 {
+		s.LoadFrees++
+		return NoDynRef
+	}
+	ref := s.lfst[int(ssid)&(len(s.lfst)-1)]
+	if ref.Valid() {
+		s.LoadWaits++
+	} else {
+		s.LoadFrees++
+	}
+	return ref
+}
+
+// Violation trains the predictor on a detected load-store ordering
+// violation, merging the load's and store's sets per the store-set
+// assignment rules.
+func (s *StoreSet) Violation(loadPC, storePC PC) {
+	s.tick()
+	s.Merges++
+	li, si := s.index(loadPC), s.index(storePC)
+	ls, ss := s.ssit[li], s.ssit[si]
+	switch {
+	case ls < 0 && ss < 0:
+		ssid := s.nextSSID
+		s.nextSSID = (s.nextSSID + 1) & int32(len(s.ssit)-1)
+		s.ssit[li], s.ssit[si] = ssid, ssid
+	case ls >= 0 && ss < 0:
+		s.ssit[si] = ls
+	case ls < 0 && ss >= 0:
+		s.ssit[li] = ss
+	default:
+		// Both assigned: the smaller SSID wins (declining-order rule).
+		if ls < ss {
+			s.ssit[si] = ls
+		} else {
+			s.ssit[li] = ss
+		}
+	}
+}
+
+// Oracle answers load-issue queries from the perfect-oracle table built by
+// an emulator pre-pass: each dynamic load maps to the dynamic store that
+// most recently wrote an overlapping byte.
+type Oracle struct {
+	deps map[DynRef]DynRef
+}
+
+// NewOracle wraps a dependence table.
+func NewOracle(deps map[DynRef]DynRef) *Oracle { return &Oracle{deps: deps} }
+
+// LoadDependence returns the store the dynamic load must wait for, or
+// NoDynRef.
+func (o *Oracle) LoadDependence(load DynRef) DynRef {
+	if ref, ok := o.deps[load]; ok {
+		return ref
+	}
+	return NoDynRef
+}

@@ -1,0 +1,288 @@
+package program
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Parse reads a textual EDGE program in the exact format produced by
+// isa.Program.String(), so that disassembly round-trips:
+//
+//	program "name": 2 blocks, entry 0
+//	block 0 "loop"  (34 insts, 3 reads, 2 writes)
+//	  R0   read r1 -> i0.a,i1.a
+//	  i0   mov -> i6.a
+//	  i5   ld #8 [lsid 0] -> i7.b
+//	  i9   bro_t #0
+//	  W0   write r1
+//
+// The counts in headers are ignored (they are recomputed); the parsed
+// program is validated before being returned.
+func Parse(src string) (*isa.Program, error) {
+	p := &isa.Program{}
+	var cur *isa.Block
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var err error
+		switch {
+		case strings.HasPrefix(line, "program "):
+			err = parseProgramHeader(p, line)
+		case strings.HasPrefix(line, "block "):
+			cur, err = parseBlockHeader(p, line)
+		case strings.HasPrefix(line, "R"):
+			err = parseRead(cur, line)
+		case strings.HasPrefix(line, "W"):
+			err = parseWrite(cur, line)
+		case strings.HasPrefix(line, "i"):
+			err = parseInst(cur, line)
+		default:
+			err = fmt.Errorf("unrecognised line %q", line)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	if err := Validate(p); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+func parseProgramHeader(p *isa.Program, line string) error {
+	// program "name": N blocks, entry E
+	rest := strings.TrimPrefix(line, "program ")
+	name, rest, err := parseQuoted(rest)
+	if err != nil {
+		return err
+	}
+	p.Name = name
+	if i := strings.Index(rest, "entry "); i >= 0 {
+		e, err := strconv.Atoi(strings.TrimSpace(rest[i+len("entry "):]))
+		if err != nil {
+			return fmt.Errorf("bad entry: %w", err)
+		}
+		p.Entry = e
+	}
+	return nil
+}
+
+func parseBlockHeader(p *isa.Program, line string) (*isa.Block, error) {
+	// block N "name"  (...)
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("malformed block header %q", line)
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad block id: %w", err)
+	}
+	name, _, err := parseQuoted(strings.Join(fields[2:], " "))
+	if err != nil {
+		return nil, err
+	}
+	if id != len(p.Blocks) {
+		return nil, fmt.Errorf("block %d out of order (expected %d)", id, len(p.Blocks))
+	}
+	b := &isa.Block{ID: id, Name: name}
+	p.Blocks = append(p.Blocks, b)
+	return b, nil
+}
+
+func parseQuoted(s string) (string, string, error) {
+	i := strings.IndexByte(s, '"')
+	if i < 0 {
+		return "", "", fmt.Errorf("missing opening quote in %q", s)
+	}
+	j := strings.IndexByte(s[i+1:], '"')
+	if j < 0 {
+		return "", "", fmt.Errorf("missing closing quote in %q", s)
+	}
+	return s[i+1 : i+1+j], s[i+j+2:], nil
+}
+
+func parseRead(b *isa.Block, line string) error {
+	if b == nil {
+		return fmt.Errorf("read outside a block")
+	}
+	// R0   read r1 -> i0.a,i1.a
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[1] != "read" {
+		return fmt.Errorf("malformed read %q", line)
+	}
+	idx, err := strconv.Atoi(strings.TrimPrefix(fields[0], "R"))
+	if err != nil || idx != len(b.Reads) {
+		return fmt.Errorf("read slot %q out of order", fields[0])
+	}
+	reg, err := parseReg(fields[2])
+	if err != nil {
+		return err
+	}
+	ts, err := parseTargets(fields[3:])
+	if err != nil {
+		return err
+	}
+	b.Reads = append(b.Reads, isa.RegRead{Reg: reg, Targets: ts})
+	return nil
+}
+
+func parseWrite(b *isa.Block, line string) error {
+	if b == nil {
+		return fmt.Errorf("write outside a block")
+	}
+	// W0   write r1
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[1] != "write" {
+		return fmt.Errorf("malformed write %q", line)
+	}
+	idx, err := strconv.Atoi(strings.TrimPrefix(fields[0], "W"))
+	if err != nil || idx != len(b.Writes) {
+		return fmt.Errorf("write slot %q out of order", fields[0])
+	}
+	reg, err := parseReg(fields[2])
+	if err != nil {
+		return err
+	}
+	b.Writes = append(b.Writes, isa.RegWrite{Reg: reg})
+	return nil
+}
+
+func parseReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseInst(b *isa.Block, line string) error {
+	if b == nil {
+		return fmt.Errorf("instruction outside a block")
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed instruction %q", line)
+	}
+	idx, err := strconv.Atoi(strings.TrimPrefix(fields[0], "i"))
+	if err != nil || idx != len(b.Insts) {
+		return fmt.Errorf("instruction %q out of order", fields[0])
+	}
+
+	in := isa.Inst{LSID: isa.NoLSID}
+	mnem := fields[1]
+	switch {
+	case strings.HasSuffix(mnem, "_t"):
+		in.Pred = isa.PredTrue
+		mnem = strings.TrimSuffix(mnem, "_t")
+	case strings.HasSuffix(mnem, "_f"):
+		in.Pred = isa.PredFalse
+		mnem = strings.TrimSuffix(mnem, "_f")
+	}
+	op, ok := isa.ParseOpcode(mnem)
+	if !ok {
+		return fmt.Errorf("unknown opcode %q", mnem)
+	}
+	in.Op = op
+
+	rest := fields[2:]
+	for len(rest) > 0 {
+		switch {
+		case strings.HasPrefix(rest[0], "#"):
+			v, err := strconv.ParseInt(rest[0][1:], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad immediate %q", rest[0])
+			}
+			in.Imm = v
+			rest = rest[1:]
+		case rest[0] == "[lsid":
+			if len(rest) < 2 {
+				return fmt.Errorf("truncated lsid in %q", line)
+			}
+			n, err := strconv.Atoi(strings.TrimSuffix(rest[1], "]"))
+			if err != nil {
+				return fmt.Errorf("bad lsid %q", rest[1])
+			}
+			in.LSID = int8(n)
+			rest = rest[2:]
+		case rest[0] == "->":
+			ts, err := parseTargets(rest)
+			if err != nil {
+				return err
+			}
+			in.Targets = ts
+			rest = nil
+		default:
+			return fmt.Errorf("unexpected token %q", rest[0])
+		}
+	}
+	b.Insts = append(b.Insts, in)
+	return nil
+}
+
+// parseTargets parses ["->", "i0.a,i1.b"].
+func parseTargets(fields []string) ([]isa.Target, error) {
+	if len(fields) == 0 || fields[0] != "->" {
+		return nil, fmt.Errorf("expected '->', got %v", fields)
+	}
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("malformed target list %v", fields)
+	}
+	var ts []isa.Target
+	for _, part := range strings.Split(fields[1], ",") {
+		t, err := parseTarget(part)
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, t)
+	}
+	return ts, nil
+}
+
+func parseTarget(s string) (isa.Target, error) {
+	if strings.HasPrefix(s, "w") {
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n > 255 {
+			return isa.Target{}, fmt.Errorf("bad write target %q", s)
+		}
+		return isa.Target{Kind: isa.TargetWrite, Index: uint8(n)}, nil
+	}
+	if !strings.HasPrefix(s, "i") {
+		return isa.Target{}, fmt.Errorf("bad target %q", s)
+	}
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		return isa.Target{}, fmt.Errorf("target %q missing slot", s)
+	}
+	n, err := strconv.Atoi(s[1:dot])
+	if err != nil || n < 0 || n > 255 {
+		return isa.Target{}, fmt.Errorf("bad target index %q", s)
+	}
+	var slot isa.Slot
+	switch s[dot+1:] {
+	case "a":
+		slot = isa.SlotA
+	case "b":
+		slot = isa.SlotB
+	case "p":
+		slot = isa.SlotP
+	default:
+		return isa.Target{}, fmt.Errorf("bad slot in %q", s)
+	}
+	return isa.Target{Kind: isa.TargetInst, Index: uint8(n), Slot: slot}, nil
+}

@@ -1,0 +1,125 @@
+package program_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+// TestAsmRoundTripAllWorkloads: disassemble every kernel program and parse
+// it back; the result must be structurally identical and emulate to the
+// same architectural state.
+func TestAsmRoundTripAllWorkloads(t *testing.T) {
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			size := 32
+			if name == "matmul" {
+				size = 8
+			}
+			w := workload.MustBuild(name, workload.Params{Size: size})
+			text := w.Program.String()
+			parsed, err := program.Parse(text)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if !reflect.DeepEqual(normalize(parsed), normalize(w.Program)) {
+				t.Fatal("round-trip is not structurally identical")
+			}
+			a, err := emu.Run(w.Program, &w.Regs, w.Mem, emu.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := emu.Run(parsed, &w.Regs, w.Mem, emu.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Regs != b.Regs || !a.Mem.Equal(b.Mem) || a.Insts != b.Insts {
+				t.Fatal("round-tripped program emulates differently")
+			}
+		})
+	}
+}
+
+// normalize clears representation-only differences (nil vs empty slices).
+func normalize(p *isa.Program) *isa.Program {
+	q := &isa.Program{Name: p.Name, Entry: p.Entry}
+	for _, b := range p.Blocks {
+		nb := &isa.Block{ID: b.ID, Name: b.Name}
+		for _, r := range b.Reads {
+			ts := append([]isa.Target{}, r.Targets...)
+			nb.Reads = append(nb.Reads, isa.RegRead{Reg: r.Reg, Targets: ts})
+		}
+		for _, in := range b.Insts {
+			ni := in
+			ni.Targets = append([]isa.Target{}, in.Targets...)
+			nb.Insts = append(nb.Insts, ni)
+		}
+		nb.Writes = append([]isa.RegWrite{}, b.Writes...)
+		q.Blocks = append(q.Blocks, nb)
+	}
+	return q
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"garbage", "wibble", "unrecognised"},
+		{"bad opcode", "block 0 \"x\"\n  i0 zorp", "unknown opcode"},
+		{"out of order inst", "block 0 \"x\"\n  i1 movi #1 -> w0", "out of order"},
+		{"bad target", "block 0 \"x\"\n  i0 movi #1 -> q7", "bad target"},
+		{"bad slot", "block 0 \"x\"\n  i0 movi #1 -> i1.z", "bad slot"},
+		{"bad register", "block 0 \"x\"\n  R0 read r99 -> i0.a", "bad register"},
+		{"inst outside block", "i0 movi #1 -> w0", "outside a block"},
+		{"invalid program", "block 0 \"x\"\n  i0 movi #1 -> w0", "write slot"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := program.Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseHandComposed(t *testing.T) {
+	src := `
+program "tiny": 1 blocks, entry 0
+// a comment
+block 0 "only"
+  R0 read r1 -> i1.a
+  i0 movi #5 -> i1.b
+  i1 add -> w0
+  i2 bro #-1
+  W0 write r2
+`
+	p, err := program.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]int64
+	regs[1] = 10
+	res, err := emu.Run(p, &regs, mem.New(), emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[2] != 15 {
+		t.Fatalf("r2 = %d, want 15", res.Regs[2])
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	w := workload.MustBuild("stencil", workload.Params{Size: 16})
+	s := program.Dot(w.Program.Blocks[0])
+	for _, want := range []string{"digraph", "read r", "shape=diamond", "lsid", "->"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+}

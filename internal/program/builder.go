@@ -1,0 +1,358 @@
+// Package program provides construction and validation of EDGE programs.
+//
+// The Builder offers an SSA-like API: values are handles returned by
+// operations, and consumers name the values they use.  The builder takes
+// care of the EDGE-specific bookkeeping that a compiler would perform:
+// dataflow target encoding, fanout trees for values with more than
+// isa.MaxTargets consumers, load/store ID assignment in program order, and
+// the exactly-one-producer discipline for predicated selects and branches.
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// HaltLabel is the branch-target label that terminates the program.
+const HaltLabel = "@halt"
+
+// Builder accumulates blocks and resolves label references at Build time.
+type Builder struct {
+	name   string
+	blocks []*BlockBuilder
+	byName map[string]*BlockBuilder
+	errs   []error
+}
+
+// New returns an empty program builder.
+func New(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]*BlockBuilder)}
+}
+
+// NewBlock creates a block with a unique label.  The first block created is
+// the program entry.
+func (b *Builder) NewBlock(label string) *BlockBuilder {
+	if label == HaltLabel {
+		b.errs = append(b.errs, fmt.Errorf("block label %q is reserved", label))
+	}
+	if _, dup := b.byName[label]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate block label %q", label))
+	}
+	bb := &BlockBuilder{
+		b:     b,
+		label: label,
+		id:    len(b.blocks),
+		reads: make(map[uint8]Val),
+	}
+	b.blocks = append(b.blocks, bb)
+	b.byName[label] = bb
+	return bb
+}
+
+// Build resolves labels, expands fanout, assigns LSIDs, validates the
+// result, and returns the finished program.
+func (b *Builder) Build() (*isa.Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.blocks) == 0 {
+		return nil, fmt.Errorf("program %q has no blocks", b.name)
+	}
+	p := &isa.Program{Name: b.name, Entry: 0}
+	for _, bb := range b.blocks {
+		blk, err := bb.finish()
+		if err != nil {
+			return nil, fmt.Errorf("block %q: %w", bb.label, err)
+		}
+		p.Blocks = append(p.Blocks, blk)
+	}
+	if err := Validate(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; intended for workload kernels and
+// tests where a malformed program is a programming bug.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// consRef records one consumer of a node's value: either an operand slot of
+// another node, or a register write slot.
+type consRef struct {
+	n    *node // nil means register write slot wIdx
+	slot isa.Slot
+	wIdx int
+}
+
+type node struct {
+	inst      isa.Inst
+	label     string // branch target label for OpBro
+	consumers []consRef
+	fanout    []*node // mov tree created at finish time, parent-first
+	index     int     // final instruction index, assigned at finish time
+}
+
+// readSlot is a register read plus its consumers.
+type readSlot struct {
+	reg       uint8
+	consumers []consRef
+	fanout    []*node
+}
+
+// Val is a handle to a value flowing through a block's dataflow graph.
+// The zero Val is invalid.
+type Val struct {
+	bb   *BlockBuilder
+	n    *node // nil for register reads
+	read int   // read-slot index when n == nil
+	ok   bool
+}
+
+// BlockBuilder constructs one block.
+type BlockBuilder struct {
+	b        *Builder
+	label    string
+	id       int
+	nodes    []*node
+	readList []*readSlot
+	reads    map[uint8]Val
+	writes   []uint8
+	written  map[uint8]bool
+	sealed   bool
+}
+
+// Label returns the block's label.
+func (bb *BlockBuilder) Label() string { return bb.label }
+
+// ID returns the block's ID in the final program.
+func (bb *BlockBuilder) ID() int { return bb.id }
+
+func (bb *BlockBuilder) fail(format string, args ...any) {
+	panic(fmt.Sprintf("program builder: block %q: %s", bb.label, fmt.Sprintf(format, args...)))
+}
+
+func (bb *BlockBuilder) addNode(in isa.Inst) *node {
+	n := &node{inst: in}
+	bb.nodes = append(bb.nodes, n)
+	return n
+}
+
+func (bb *BlockBuilder) use(v Val, n *node, slot isa.Slot) {
+	if !v.ok {
+		bb.fail("use of invalid Val")
+	}
+	if v.bb != bb {
+		bb.fail("use of Val from block %q", v.bb.label)
+	}
+	ref := consRef{n: n, slot: slot}
+	if v.n != nil {
+		v.n.consumers = append(v.n.consumers, ref)
+	} else {
+		rs := bb.readList[v.read]
+		rs.consumers = append(rs.consumers, ref)
+	}
+}
+
+func (bb *BlockBuilder) val(n *node) Val { return Val{bb: bb, n: n, ok: true} }
+
+// Read returns the value of architectural register reg at block entry.
+// Repeated reads of the same register share one read slot.
+func (bb *BlockBuilder) Read(reg uint8) Val {
+	if reg >= isa.NumRegs {
+		bb.fail("register r%d out of range", reg)
+	}
+	if v, ok := bb.reads[reg]; ok {
+		return v
+	}
+	rs := &readSlot{reg: reg}
+	bb.readList = append(bb.readList, rs)
+	v := Val{bb: bb, n: nil, read: len(bb.readList) - 1, ok: true}
+	bb.reads[reg] = v
+	return v
+}
+
+// Const materialises an immediate value (OpMovi).
+func (bb *BlockBuilder) Const(v int64) Val {
+	return bb.val(bb.addNode(isa.Inst{Op: isa.OpMovi, Imm: v, LSID: isa.NoLSID}))
+}
+
+// Op applies a two-operand opcode.
+func (bb *BlockBuilder) Op(op isa.Opcode, a, b Val) Val {
+	if op.NumDataOperands() != 2 || op.IsMem() || op.IsBranch() {
+		bb.fail("Op: %s is not a two-operand ALU opcode", op)
+	}
+	n := bb.addNode(isa.Inst{Op: op, LSID: isa.NoLSID})
+	bb.use(a, n, isa.SlotA)
+	bb.use(b, n, isa.SlotB)
+	return bb.val(n)
+}
+
+// Op1 applies a one-operand opcode.
+func (bb *BlockBuilder) Op1(op isa.Opcode, a Val) Val {
+	if op.NumDataOperands() != 1 || op.IsMem() || op.IsBranch() {
+		bb.fail("Op1: %s is not a one-operand ALU opcode", op)
+	}
+	n := bb.addNode(isa.Inst{Op: op, LSID: isa.NoLSID})
+	bb.use(a, n, isa.SlotA)
+	return bb.val(n)
+}
+
+// OpPred applies a predicated one- or two-operand ALU opcode that executes
+// only when pred's truth equals onTrue.  The caller is responsible for the
+// exactly-one-producer discipline of any shared consumer slots; Select and
+// BranchIf wrap the common safe patterns.
+func (bb *BlockBuilder) OpPred(op isa.Opcode, pred Val, onTrue bool, a, b Val) Val {
+	nd := op.NumDataOperands()
+	if nd == 0 || op.IsMem() || op.IsBranch() {
+		bb.fail("OpPred: %s is not a predicable ALU opcode", op)
+	}
+	n := bb.addNode(isa.Inst{Op: op, Pred: predMode(onTrue), LSID: isa.NoLSID})
+	bb.use(pred, n, isa.SlotP)
+	bb.use(a, n, isa.SlotA)
+	if nd == 2 {
+		bb.use(b, n, isa.SlotB)
+	}
+	return bb.val(n)
+}
+
+func predMode(onTrue bool) isa.PredMode {
+	if onTrue {
+		return isa.PredTrue
+	}
+	return isa.PredFalse
+}
+
+// Select returns ifTrue when pred is non-zero and ifFalse otherwise.  It is
+// built from two complementary predicated movs feeding a join mov, so that
+// exactly one producer fires into every consumer slot per execution.
+func (bb *BlockBuilder) Select(pred, ifTrue, ifFalse Val) Val {
+	join := bb.addNode(isa.Inst{Op: isa.OpMov, LSID: isa.NoLSID})
+	t := bb.OpPred(isa.OpMov, pred, true, ifTrue, Val{})
+	f := bb.OpPred(isa.OpMov, pred, false, ifFalse, Val{})
+	// Move the join after its producers so the final index order is a DAG.
+	bb.reorderAfter(join, t.n, f.n)
+	bb.use(t, join, isa.SlotA)
+	bb.use(f, join, isa.SlotA)
+	return bb.val(join)
+}
+
+// reorderAfter moves n to the end of the node list; it must have been the
+// most recently created node before others.
+func (bb *BlockBuilder) reorderAfter(n *node, others ...*node) {
+	for i, x := range bb.nodes {
+		if x == n {
+			bb.nodes = append(bb.nodes[:i], bb.nodes[i+1:]...)
+			bb.nodes = append(bb.nodes, n)
+			return
+		}
+	}
+}
+
+// Load issues an 8-byte load from addr+off.  Loads are unpredicated by ISA
+// rule (see the validator); memory order follows creation order.
+func (bb *BlockBuilder) Load(addr Val, off int64) Val {
+	return bb.load(isa.OpLd, addr, off)
+}
+
+// Load1 issues a 1-byte zero-extending load from addr+off.
+func (bb *BlockBuilder) Load1(addr Val, off int64) Val {
+	return bb.load(isa.OpLd1, addr, off)
+}
+
+func (bb *BlockBuilder) load(op isa.Opcode, addr Val, off int64) Val {
+	n := bb.addNode(isa.Inst{Op: op, Imm: off})
+	bb.use(addr, n, isa.SlotA)
+	return bb.val(n)
+}
+
+// Store issues an 8-byte store of data to addr+off.
+func (bb *BlockBuilder) Store(addr Val, off int64, data Val) {
+	bb.store(isa.OpSt, Val{}, isa.PredNone, addr, off, data)
+}
+
+// Store1 issues a 1-byte store of data's low byte to addr+off.
+func (bb *BlockBuilder) Store1(addr Val, off int64, data Val) {
+	bb.store(isa.OpSt1, Val{}, isa.PredNone, addr, off, data)
+}
+
+// StoreIf issues a predicated 8-byte store that executes only when pred's
+// truth equals onTrue; otherwise the store nullifies (signals completion to
+// the LSQ without writing memory).
+func (bb *BlockBuilder) StoreIf(pred Val, onTrue bool, addr Val, off int64, data Val) {
+	bb.store(isa.OpSt, pred, predMode(onTrue), addr, off, data)
+}
+
+// Store1If is the 1-byte variant of StoreIf.
+func (bb *BlockBuilder) Store1If(pred Val, onTrue bool, addr Val, off int64, data Val) {
+	bb.store(isa.OpSt1, pred, predMode(onTrue), addr, off, data)
+}
+
+func (bb *BlockBuilder) store(op isa.Opcode, pred Val, pm isa.PredMode, addr Val, off int64, data Val) {
+	n := bb.addNode(isa.Inst{Op: op, Pred: pm, Imm: off})
+	if pm != isa.PredNone {
+		bb.use(pred, n, isa.SlotP)
+	}
+	bb.use(addr, n, isa.SlotA)
+	bb.use(data, n, isa.SlotB)
+}
+
+// Write declares that v becomes the architectural value of reg when the
+// block commits.  Each register may be written at most once per block.
+func (bb *BlockBuilder) Write(reg uint8, v Val) {
+	if reg >= isa.NumRegs {
+		bb.fail("register r%d out of range", reg)
+	}
+	if bb.written == nil {
+		bb.written = make(map[uint8]bool)
+	}
+	if bb.written[reg] {
+		bb.fail("register r%d written twice", reg)
+	}
+	bb.written[reg] = true
+	w := len(bb.writes)
+	bb.writes = append(bb.writes, reg)
+	if !v.ok || v.bb != bb {
+		bb.fail("Write of invalid Val")
+	}
+	ref := consRef{n: nil, wIdx: w}
+	if v.n != nil {
+		v.n.consumers = append(v.n.consumers, ref)
+	} else {
+		bb.readList[v.read].consumers = append(bb.readList[v.read].consumers, ref)
+	}
+}
+
+// Branch ends the block with an unconditional branch to the labelled block
+// (or HaltLabel to stop the program).
+func (bb *BlockBuilder) Branch(label string) {
+	bb.addNode(isa.Inst{Op: isa.OpBro, LSID: isa.NoLSID}).label = label
+}
+
+// BranchIf ends the block with a two-way conditional branch: to thenLabel
+// when pred is non-zero, else to elseLabel.  Exactly one of the two
+// predicated branch instructions fires per execution.
+func (bb *BlockBuilder) BranchIf(pred Val, thenLabel, elseLabel string) {
+	t := bb.addNode(isa.Inst{Op: isa.OpBro, Pred: isa.PredTrue, LSID: isa.NoLSID})
+	t.label = thenLabel
+	bb.use(pred, t, isa.SlotP)
+	f := bb.addNode(isa.Inst{Op: isa.OpBro, Pred: isa.PredFalse, LSID: isa.NoLSID})
+	f.label = elseLabel
+	bb.use(pred, f, isa.SlotP)
+}
+
+// BranchInd ends the block with an indirect branch to the block whose ID is
+// the value of v (HaltTarget stops the program).
+func (bb *BlockBuilder) BranchInd(v Val) {
+	n := bb.addNode(isa.Inst{Op: isa.OpBri, LSID: isa.NoLSID})
+	bb.use(v, n, isa.SlotA)
+}
+
+// Halt ends the block by stopping the program.
+func (bb *BlockBuilder) Halt() { bb.Branch(HaltLabel) }

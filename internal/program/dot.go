@@ -1,0 +1,72 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Dot renders a block's dataflow graph in Graphviz format: register reads
+// and constants at the top, the instruction DAG in the middle, register
+// writes, stores and branches at the bottom.  Predicate edges are dashed;
+// memory operations are shaded and annotated with their LSID (their
+// sequential memory order).
+func Dot(b *isa.Block) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", fmt.Sprintf("block%d_%s", b.ID, b.Name))
+	sb.WriteString("  rankdir=TB;\n  node [fontname=\"monospace\" fontsize=10];\n")
+
+	for i, r := range b.Reads {
+		fmt.Fprintf(&sb, "  read%d [label=\"read r%d\" shape=invhouse];\n", i, r.Reg)
+	}
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		shape, extra := "box", ""
+		switch {
+		case in.Op.IsMem():
+			shape = "box"
+			extra = " style=filled fillcolor=lightgrey"
+		case in.Op.IsBranch():
+			shape = "diamond"
+		case in.Op == isa.OpMovi:
+			shape = "plaintext"
+		}
+		label := fmt.Sprintf("i%d %s%s", i, in.Op, in.Pred)
+		if in.Op == isa.OpMovi || in.Op == isa.OpBro || in.Op.IsMem() {
+			label += fmt.Sprintf(" #%d", in.Imm)
+		}
+		if in.LSID != isa.NoLSID {
+			label += fmt.Sprintf("\\nlsid %d", in.LSID)
+		}
+		fmt.Fprintf(&sb, "  i%d [label=\"%s\" shape=%s%s];\n", i, label, shape, extra)
+	}
+	for i, w := range b.Writes {
+		fmt.Fprintf(&sb, "  w%d [label=\"write r%d\" shape=house];\n", i, w.Reg)
+	}
+
+	edge := func(src string, ts []isa.Target) {
+		for _, t := range ts {
+			switch t.Kind {
+			case isa.TargetWrite:
+				fmt.Fprintf(&sb, "  %s -> w%d;\n", src, t.Index)
+			case isa.TargetInst:
+				style := ""
+				if t.Slot == isa.SlotP {
+					style = " [style=dashed label=p]"
+				} else if t.Slot == isa.SlotB {
+					style = " [label=b]"
+				}
+				fmt.Fprintf(&sb, "  %s -> i%d%s;\n", src, t.Index, style)
+			}
+		}
+	}
+	for i, r := range b.Reads {
+		edge(fmt.Sprintf("read%d", i), r.Targets)
+	}
+	for i := range b.Insts {
+		edge(fmt.Sprintf("i%d", i), b.Insts[i].Targets)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,125 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// fanTree reduces a consumer list to at most isa.MaxTargets entries by
+// inserting mov instructions, appended to *movs in parent-first order.
+func fanTree(consumers []consRef, movs *[]*node) []consRef {
+	if len(consumers) <= isa.MaxTargets {
+		return consumers
+	}
+	per := (len(consumers) + isa.MaxTargets - 1) / isa.MaxTargets
+	var out []consRef
+	for i := 0; i < len(consumers); i += per {
+		end := i + per
+		if end > len(consumers) {
+			end = len(consumers)
+		}
+		chunk := consumers[i:end]
+		if len(chunk) == 1 {
+			out = append(out, chunk[0])
+			continue
+		}
+		m := &node{inst: isa.Inst{Op: isa.OpMov, LSID: isa.NoLSID}}
+		*movs = append(*movs, m)
+		m.consumers = fanTree(chunk, movs)
+		out = append(out, consRef{n: m, slot: isa.SlotA})
+	}
+	return out
+}
+
+// finish expands fanout, linearizes the dataflow graph into index order,
+// assigns load/store IDs, resolves branch labels, and emits the isa.Block.
+func (bb *BlockBuilder) finish() (*isa.Block, error) {
+	// 1. Fanout expansion.  Mov trees are attached to their producer and
+	// spliced into the instruction stream immediately after it, which keeps
+	// every target pointing at a higher index.
+	for _, rs := range bb.readList {
+		rs.consumers = fanTree(rs.consumers, &rs.fanout)
+	}
+	for _, n := range bb.nodes {
+		n.consumers = fanTree(n.consumers, &n.fanout)
+	}
+
+	// 2. Linearize.  Read-slot fanout movs come first (reads deliver before
+	// any instruction), then each node followed by its fanout tree.
+	var final []*node
+	for _, rs := range bb.readList {
+		final = append(final, rs.fanout...)
+	}
+	for _, n := range bb.nodes {
+		final = append(final, n)
+		final = append(final, n.fanout...)
+	}
+	if len(final) > isa.MaxInsts {
+		return nil, fmt.Errorf("%d instructions after fanout expansion exceeds the block limit of %d", len(final), isa.MaxInsts)
+	}
+	if len(bb.readList) > isa.MaxReads {
+		return nil, fmt.Errorf("%d register reads exceeds the limit of %d", len(bb.readList), isa.MaxReads)
+	}
+	if len(bb.writes) > isa.MaxWrites {
+		return nil, fmt.Errorf("%d register writes exceeds the limit of %d", len(bb.writes), isa.MaxWrites)
+	}
+	for i, n := range final {
+		n.index = i
+	}
+
+	// 3. Load/store IDs in final (== program) order.
+	lsid := 0
+	for _, n := range final {
+		if n.inst.Op.IsMem() {
+			if lsid >= isa.MaxMemOps {
+				return nil, fmt.Errorf("more than %d memory operations", isa.MaxMemOps)
+			}
+			n.inst.LSID = int8(lsid)
+			lsid++
+		}
+	}
+
+	// 4. Resolve consumer references into targets.
+	refsToTargets := func(refs []consRef) []isa.Target {
+		ts := make([]isa.Target, 0, len(refs))
+		for _, r := range refs {
+			if r.n == nil {
+				ts = append(ts, isa.Target{Kind: isa.TargetWrite, Index: uint8(r.wIdx)})
+			} else {
+				ts = append(ts, isa.Target{Kind: isa.TargetInst, Index: uint8(r.n.index), Slot: r.slot})
+			}
+		}
+		return ts
+	}
+
+	// 5. Resolve branch labels.
+	for _, n := range final {
+		if n.inst.Op == isa.OpBro {
+			if n.label == HaltLabel {
+				n.inst.Imm = isa.HaltTarget
+				continue
+			}
+			tgt, ok := bb.b.byName[n.label]
+			if !ok {
+				return nil, fmt.Errorf("branch to unknown label %q", n.label)
+			}
+			n.inst.Imm = int64(tgt.id)
+		}
+	}
+
+	// 6. Emit.
+	blk := &isa.Block{ID: bb.id, Name: bb.label}
+	for _, rs := range bb.readList {
+		blk.Reads = append(blk.Reads, isa.RegRead{Reg: rs.reg, Targets: refsToTargets(rs.consumers)})
+	}
+	for _, n := range final {
+		in := n.inst
+		in.Targets = refsToTargets(n.consumers)
+		blk.Insts = append(blk.Insts, in)
+	}
+	for _, reg := range bb.writes {
+		blk.Writes = append(blk.Writes, isa.RegWrite{Reg: reg})
+	}
+	return blk, nil
+}

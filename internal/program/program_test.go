@@ -1,0 +1,291 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// buildCountdown builds a two-block program: count r1 down to zero, then
+// store the number of iterations at addr 0x100 and halt.
+func buildCountdown(t *testing.T, n int64) *isa.Program {
+	t.Helper()
+	b := New("countdown")
+	loop := b.NewBlock("loop")
+	v := loop.Read(1)
+	cnt := loop.Read(2)
+	v2 := loop.Op(isa.OpSub, v, loop.Const(1))
+	cnt2 := loop.Op(isa.OpAdd, cnt, loop.Const(1))
+	loop.Write(1, v2)
+	loop.Write(2, cnt2)
+	more := loop.Op(isa.OpTgt, v2, loop.Const(0))
+	loop.BranchIf(more, "loop", "done")
+
+	done := b.NewBlock("done")
+	c := done.Read(2)
+	done.Store(done.Const(0x100), 0, c)
+	done.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuilderCountdown(t *testing.T) {
+	p := buildCountdown(t, 5)
+	var regs [isa.NumRegs]int64
+	regs[1] = 5
+	res, err := emu.Run(p, &regs, mem.New(), emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Mem.Read(0x100, 8); got != 5 {
+		t.Errorf("iterations = %d, want 5", got)
+	}
+	if res.Blocks != 6 {
+		t.Errorf("blocks = %d, want 6", res.Blocks)
+	}
+}
+
+// TestFanoutExpansion checks that a value with many consumers is spread
+// through a mov tree and the program still computes correctly.
+func TestFanoutExpansion(t *testing.T) {
+	b := New("fanout")
+	blk := b.NewBlock("only")
+	v := blk.Read(1)
+	// 20 consumers of v: sum must be 20*v.
+	sum := blk.Const(0)
+	for i := 0; i < 20; i++ {
+		sum = blk.Op(isa.OpAdd, sum, v)
+	}
+	blk.Write(2, sum)
+	blk.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	movs := 0
+	for _, in := range p.Blocks[0].Insts {
+		if in.Op == isa.OpMov {
+			movs++
+		}
+	}
+	if movs == 0 {
+		t.Error("expected mov fanout tree for 20 consumers")
+	}
+	// No producer may exceed the target limit.
+	for i, in := range p.Blocks[0].Insts {
+		if len(in.Targets) > isa.MaxTargets {
+			t.Errorf("i%d has %d targets", i, len(in.Targets))
+		}
+	}
+	for _, r := range p.Blocks[0].Reads {
+		if len(r.Targets) > isa.MaxTargets {
+			t.Errorf("read r%d has %d targets", r.Reg, len(r.Targets))
+		}
+	}
+
+	var regs [isa.NumRegs]int64
+	regs[1] = 7
+	res, err := emu.Run(p, &regs, mem.New(), emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[2] != 140 {
+		t.Errorf("r2 = %d, want 140", res.Regs[2])
+	}
+}
+
+// TestSelect checks both arms of the select pattern.
+func TestSelect(t *testing.T) {
+	for _, c := range []struct{ p, want int64 }{{1, 111}, {0, 222}, {-5, 111}} {
+		b := New("select")
+		blk := b.NewBlock("only")
+		pr := blk.Read(1)
+		v := blk.Select(pr, blk.Const(111), blk.Const(222))
+		blk.Write(2, v)
+		blk.Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var regs [isa.NumRegs]int64
+		regs[1] = c.p
+		res, err := emu.Run(p, &regs, mem.New(), emu.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Regs[2] != c.want {
+			t.Errorf("select(%d) = %d, want %d", c.p, res.Regs[2], c.want)
+		}
+	}
+}
+
+// TestPredicatedStore checks StoreIf in both the firing and nullified arms.
+func TestPredicatedStore(t *testing.T) {
+	for _, c := range []struct{ p, want int64 }{{1, 99}, {0, 0}} {
+		b := New("predst")
+		blk := b.NewBlock("only")
+		pr := blk.Read(1)
+		blk.StoreIf(pr, true, blk.Const(0x200), 0, blk.Const(99))
+		blk.Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var regs [isa.NumRegs]int64
+		regs[1] = c.p
+		res, err := emu.Run(p, &regs, mem.New(), emu.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Mem.Read(0x200, 8); got != c.want {
+			t.Errorf("pred %d: mem = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIndirectBranch(t *testing.T) {
+	b := New("indirect")
+	first := b.NewBlock("first")
+	tgt := first.Read(1)
+	first.BranchInd(tgt)
+
+	second := b.NewBlock("second")
+	second.Write(2, second.Const(42))
+	second.Halt()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regs [isa.NumRegs]int64
+	regs[1] = 1 // block ID of "second"
+	res, err := emu.Run(p, &regs, mem.New(), emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regs[2] != 42 {
+		t.Errorf("r2 = %d, want 42", res.Regs[2])
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("unknown label", func(t *testing.T) {
+		b := New("bad")
+		blk := b.NewBlock("x")
+		blk.Branch("nowhere")
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "unknown label") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("duplicate label", func(t *testing.T) {
+		b := New("bad")
+		b.NewBlock("x").Halt()
+		b.NewBlock("x").Halt()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("no blocks", func(t *testing.T) {
+		if _, err := New("empty").Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("too many mem ops", func(t *testing.T) {
+		b := New("bad")
+		blk := b.NewBlock("x")
+		base := blk.Read(1)
+		for i := 0; i < isa.MaxMemOps+1; i++ {
+			blk.Store(base, int64(8*i), base)
+		}
+		blk.Halt()
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "memory operations") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	fresh := func() *isa.Program { return buildCountdown(t, 1) }
+
+	t.Run("backward target", func(t *testing.T) {
+		p := fresh()
+		for i := range p.Blocks[0].Insts {
+			in := &p.Blocks[0].Insts[i]
+			if len(in.Targets) > 0 && in.Targets[0].Kind == isa.TargetInst {
+				in.Targets[0].Index = 0
+			}
+		}
+		if err := Validate(p); err == nil {
+			t.Error("expected validation failure")
+		}
+	})
+	t.Run("no branch", func(t *testing.T) {
+		p := fresh()
+		insts := p.Blocks[1].Insts
+		kept := insts[:0]
+		for _, in := range insts {
+			if !in.Op.IsBranch() {
+				kept = append(kept, in)
+			}
+		}
+		p.Blocks[1].Insts = kept
+		if err := Validate(p); err == nil {
+			t.Error("expected validation failure")
+		}
+	})
+	t.Run("predicated load", func(t *testing.T) {
+		p := fresh()
+		blk := p.Blocks[1]
+		for i := range blk.Insts {
+			if blk.Insts[i].Op.IsStore() {
+				blk.Insts[i].Op = isa.OpLd
+				blk.Insts[i].Pred = isa.PredTrue
+			}
+		}
+		if err := Validate(p); err == nil {
+			t.Error("expected validation failure")
+		}
+	})
+	t.Run("lsid gap", func(t *testing.T) {
+		p := fresh()
+		blk := p.Blocks[1]
+		for i := range blk.Insts {
+			if blk.Insts[i].Op.IsMem() {
+				blk.Insts[i].LSID = 5
+			}
+		}
+		if err := Validate(p); err == nil {
+			t.Error("expected validation failure")
+		}
+	})
+	t.Run("branch out of range", func(t *testing.T) {
+		p := fresh()
+		blk := p.Blocks[0]
+		for i := range blk.Insts {
+			if blk.Insts[i].Op == isa.OpBro && blk.Insts[i].Imm >= 0 {
+				blk.Insts[i].Imm = 99
+			}
+		}
+		if err := Validate(p); err == nil {
+			t.Error("expected validation failure")
+		}
+	})
+}
+
+func TestDisassembly(t *testing.T) {
+	p := buildCountdown(t, 1)
+	s := p.String()
+	for _, want := range []string{"program", "block 0", "block 1", "read r1", "bro", "st"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Validate checks the structural invariants every EDGE program must satisfy
+// before it can be emulated or simulated.  Programs produced by the Builder
+// always pass; Validate exists so that hand-constructed or mutated programs
+// (fuzzers, property tests) are checked by the same rules.
+//
+// Enforced invariants:
+//
+//   - resource limits: instructions, reads, writes and memory ops per block;
+//   - every target points at a valid consumer slot with a strictly higher
+//     instruction index (the block dataflow graph is a DAG in index order);
+//   - load/store IDs are unique, dense from zero, and increase with
+//     instruction index (program memory order equals index order, the
+//     compiler discipline this reproduction assumes — see DESIGN.md);
+//   - loads are unpredicated (a nullified load would leave its consumers
+//     without a producer);
+//   - every operand slot that an instruction waits on has at least one
+//     static producer, and unpredicated slots have exactly one;
+//   - every register write slot has at least one producer;
+//   - every block has at least one branch, and static branch targets exist;
+//   - register numbers are in range.
+func Validate(p *isa.Program) error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("program has no blocks")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Blocks) {
+		return fmt.Errorf("entry block %d out of range", p.Entry)
+	}
+	for i, b := range p.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("block %d has ID %d", i, b.ID)
+		}
+		if err := validateBlock(p, b); err != nil {
+			return fmt.Errorf("block %d %q: %w", b.ID, b.Name, err)
+		}
+	}
+	return nil
+}
+
+func validateBlock(p *isa.Program, b *isa.Block) error {
+	if len(b.Insts) == 0 {
+		return fmt.Errorf("empty block")
+	}
+	if len(b.Insts) > isa.MaxInsts {
+		return fmt.Errorf("%d instructions exceeds limit %d", len(b.Insts), isa.MaxInsts)
+	}
+	if len(b.Reads) > isa.MaxReads {
+		return fmt.Errorf("%d reads exceeds limit %d", len(b.Reads), isa.MaxReads)
+	}
+	if len(b.Writes) > isa.MaxWrites {
+		return fmt.Errorf("%d writes exceeds limit %d", len(b.Writes), isa.MaxWrites)
+	}
+
+	// producers[i][slot] counts static producers of each operand slot;
+	// writeProducers counts producers of each write slot.
+	type slotCount [isa.NumSlots]int
+	producers := make([]slotCount, len(b.Insts))
+	writeProducers := make([]int, len(b.Writes))
+
+	checkTargets := func(srcIdx int, targets []isa.Target) error {
+		if len(targets) > isa.MaxTargets {
+			return fmt.Errorf("%d targets exceeds limit %d", len(targets), isa.MaxTargets)
+		}
+		for _, t := range targets {
+			switch t.Kind {
+			case isa.TargetWrite:
+				if int(t.Index) >= len(b.Writes) {
+					return fmt.Errorf("target %s: no such write slot", t)
+				}
+				writeProducers[t.Index]++
+			case isa.TargetInst:
+				if int(t.Index) >= len(b.Insts) {
+					return fmt.Errorf("target %s: no such instruction", t)
+				}
+				if srcIdx >= 0 && int(t.Index) <= srcIdx {
+					return fmt.Errorf("target %s from i%d is not a forward edge", t, srcIdx)
+				}
+				c := &b.Insts[t.Index]
+				if !c.NeedsSlot(t.Slot) {
+					return fmt.Errorf("target %s: %s does not read slot %s", t, c.Op, t.Slot)
+				}
+				producers[t.Index][t.Slot]++
+			default:
+				return fmt.Errorf("target with unknown kind %d", t.Kind)
+			}
+		}
+		return nil
+	}
+
+	for _, r := range b.Reads {
+		if r.Reg >= isa.NumRegs {
+			return fmt.Errorf("read of register r%d out of range", r.Reg)
+		}
+		if err := checkTargets(-1, r.Targets); err != nil {
+			return fmt.Errorf("read r%d: %w", r.Reg, err)
+		}
+	}
+
+	branches := 0
+	lastLSID := int8(-1)
+	seenLSID := make(map[int8]bool)
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		if !in.Op.Valid() || in.Op == isa.OpNop {
+			return fmt.Errorf("i%d: invalid opcode %s", i, in.Op)
+		}
+		if err := checkTargets(i, in.Targets); err != nil {
+			return fmt.Errorf("i%d: %w", i, err)
+		}
+		switch {
+		case in.Op.IsMem():
+			if in.LSID == isa.NoLSID || in.LSID < 0 || int(in.LSID) >= isa.MaxMemOps {
+				return fmt.Errorf("i%d: memory op with invalid LSID %d", i, in.LSID)
+			}
+			if seenLSID[in.LSID] {
+				return fmt.Errorf("i%d: duplicate LSID %d", i, in.LSID)
+			}
+			seenLSID[in.LSID] = true
+			if in.LSID <= lastLSID {
+				return fmt.Errorf("i%d: LSID %d not increasing with instruction index", i, in.LSID)
+			}
+			if in.LSID != lastLSID+1 {
+				return fmt.Errorf("i%d: LSID %d leaves a gap after %d", i, in.LSID, lastLSID)
+			}
+			lastLSID = in.LSID
+			if in.Op.IsLoad() && in.Pred != isa.PredNone {
+				return fmt.Errorf("i%d: predicated load", i)
+			}
+		default:
+			if in.LSID != isa.NoLSID {
+				return fmt.Errorf("i%d: non-memory op with LSID %d", i, in.LSID)
+			}
+		}
+		if in.Op.IsBranch() {
+			branches++
+			if len(in.Targets) != 0 {
+				return fmt.Errorf("i%d: branch with dataflow targets", i)
+			}
+			if in.Op == isa.OpBro {
+				if in.Imm != isa.HaltTarget && (in.Imm < 0 || int(in.Imm) >= len(p.Blocks)) {
+					return fmt.Errorf("i%d: branch to nonexistent block %d", i, in.Imm)
+				}
+			}
+		} else if in.Op.ProducesValue() && len(in.Targets) == 0 && !in.Op.IsLoad() {
+			// A value produced for nobody is almost certainly a builder bug;
+			// loads are exempt because a load may be issued purely for its
+			// memory-ordering side effects in stress kernels.
+			return fmt.Errorf("i%d: %s produces a value but has no targets", i, in.Op)
+		}
+	}
+	if branches == 0 {
+		return fmt.Errorf("block has no branch")
+	}
+
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		for s := isa.SlotA; s < isa.NumSlots; s++ {
+			n := producers[i][s]
+			switch {
+			case !in.NeedsSlot(s) && n > 0:
+				return fmt.Errorf("i%d: slot %s has %d producers but is not read", i, s, n)
+			case in.NeedsSlot(s) && n == 0:
+				return fmt.Errorf("i%d: slot %s has no producer", i, s)
+			case in.NeedsSlot(s) && n > 1 && in.Pred == isa.PredNone && s != isa.SlotA:
+				// Multiple static producers are only legal for slots fed by
+				// complementary predicated producers (select joins use SlotA,
+				// and predicated consumers may merge on any slot).  This is a
+				// heuristic static check; the emulator enforces the dynamic
+				// exactly-one-fires rule exactly.
+			}
+		}
+	}
+	for w, n := range writeProducers {
+		if n == 0 {
+			return fmt.Errorf("write slot %d (r%d) has no producer", w, b.Writes[w].Reg)
+		}
+	}
+	for _, w := range b.Writes {
+		if w.Reg >= isa.NumRegs {
+			return fmt.Errorf("write of register r%d out of range", w.Reg)
+		}
+	}
+	return nil
+}

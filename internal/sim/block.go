@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// instState is the dynamic state of one instruction slot in a mapped block:
+// a DSRE reservation station.
+type instState struct {
+	slots [isa.NumSlots]core.OperandSlot
+
+	// needExec marks that the instruction must (re-)execute: an operand
+	// changed since the last execution (or it has never executed).
+	needExec bool
+	// inflight counts executions currently in the ALU pipeline; commit-only
+	// emission must wait for quiescence or it would certify a stale output.
+	inflight int
+	// queued marks membership in a tile ready queue.
+	queued bool
+	// fired counts executions (re-executions are fired > 1).
+	fired int64
+	// lastOut and outTag describe the most recent output broadcast.
+	lastOut   int64
+	outTag    core.Tag
+	execValid bool
+
+	// committedSent marks that the final (committed) output was emitted.
+	committedSent bool
+	// nullTag is the newest predicate tag for which a store-null was sent.
+	nullTag      core.Tag
+	nullSent     bool
+	nullCommSent bool
+	// storeCommitCounted dedups this store's contribution to the block's
+	// committed-store count.
+	storeCommitCounted bool
+	// sentAddrCom/sentDataCom dedup partial store-commit messages.
+	sentAddrCom bool
+	sentDataCom bool
+	// Value prediction state (loads only): the value speculatively
+	// broadcast at map time, and a training dedup flag.
+	vpValid   bool
+	vpTrained bool
+	vpValue   int64
+}
+
+// storeCommitFlags reports whether the commit wave has reached a store's
+// address and data operands (the predicate, when present, gates both).
+func (st *instState) storeCommitFlags(in *isa.Inst) (addrCom, dataCom bool) {
+	predOK := in.Pred == isa.PredNone || st.slots[isa.SlotP].Committed
+	return predOK && st.slots[isa.SlotA].Committed, predOK && st.slots[isa.SlotB].Committed
+}
+
+// inputsCommitted reports whether every operand slot the instruction waits
+// on holds a committed value.
+func (st *instState) inputsCommitted(in *isa.Inst) bool {
+	for s := isa.SlotA; s < isa.NumSlots; s++ {
+		if in.NeedsSlot(s) && !st.slots[s].Committed {
+			return false
+		}
+	}
+	return true
+}
+
+// operandsPresent reports whether every needed slot holds a value.
+func (st *instState) operandsPresent(in *isa.Inst) bool {
+	for s := isa.SlotA; s < isa.NumSlots; s++ {
+		if in.NeedsSlot(s) && !st.slots[s].Present {
+			return false
+		}
+	}
+	return true
+}
+
+// predEnabled reports the predicate check: ok is false while the predicate
+// has not arrived.
+func (st *instState) predEnabled(in *isa.Inst) (enabled, ok bool) {
+	if in.Pred == isa.PredNone {
+		return true, true
+	}
+	p := &st.slots[isa.SlotP]
+	if !p.Present {
+		return false, false
+	}
+	truth := p.Value != 0
+	return (in.Pred == isa.PredTrue) == truth, true
+}
+
+// writeState is one register write slot of a mapped block, physically
+// homed at a register tile.
+type writeState struct {
+	slot    core.OperandSlot
+	counted bool // contributed to writesCommitted
+}
+
+// blockInst is one in-flight dynamic block.
+type blockInst struct {
+	seq     int64
+	blockID int
+	bdef    *isa.Block
+	frame   int
+	gen     uint32
+
+	insts  []instState
+	writes []writeState
+
+	// branch is the block's control outcome (value = next block ID),
+	// written by whichever branch instruction fires.
+	branch        core.OperandSlot
+	branchCounted bool
+
+	// readBind maps each register read slot to the producing older block's
+	// sequence number, or -1 for the architectural register file.
+	readBind []int64
+	// regRead maps register number -> read slot index, for producer pushes.
+	regRead map[uint8]int
+
+	writesCommitted int
+	storesCommitted int
+	numStores       int
+	predictedNext   int // what fetch predicted would follow (for stats)
+}
+
+// outputsCommitted reports whether the block's architectural outputs are
+// all final: branch, register writes and stores (or their null tokens).
+func (b *blockInst) outputsCommitted() bool {
+	return b.branch.Committed &&
+		b.writesCommitted == len(b.writes) &&
+		b.storesCommitted == b.numStores
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLastTargetPred(t *testing.T) {
+	p := newLastTargetPred()
+	if got := p.predict(5); got != 5 {
+		t.Errorf("untrained predict = %d, want self-loop 5", got)
+	}
+	p.train(5, 9)
+	if got := p.predict(5); got != 9 {
+		t.Errorf("trained predict = %d, want 9", got)
+	}
+	p.train(5, 5)
+	if got := p.predict(5); got != 5 {
+		t.Errorf("retrained predict = %d, want 5", got)
+	}
+}
+
+func TestTwoLevelLearnsAlternation(t *testing.T) {
+	p := newTwoLevelPred(10)
+	// Block 0 alternates its successor: 0,0,0,1, 0,0,0,1, ... (a 4-periodic
+	// inner/outer loop exit).  With history the pattern becomes learnable.
+	pattern := []int{0, 0, 0, 1}
+	// Train for several periods.
+	for round := 0; round < 16; round++ {
+		for _, next := range pattern {
+			p.train(0, next)
+		}
+	}
+	// Now predictions must follow the pattern.
+	correct := 0
+	for round := 0; round < 4; round++ {
+		for _, next := range pattern {
+			if p.predict(0) == next {
+				correct++
+			}
+			p.train(0, next)
+		}
+	}
+	if correct < 14 { // 16 predictions, allow slack for table collisions
+		t.Errorf("two-level predicted %d/16 of a period-4 pattern", correct)
+	}
+}
+
+func TestPerfectPredFollowsTrace(t *testing.T) {
+	p := &perfectPred{trace: []int{3, 1, 4, 1}}
+	p.seq = 2
+	if got := p.predict(99); got != 4 {
+		t.Errorf("predict at seq 2 = %d, want 4", got)
+	}
+	p.seq = 10
+	if got := p.predict(99); got != isa.HaltTarget {
+		t.Errorf("predict past trace = %d, want halt", got)
+	}
+}
+
+func TestNewBlockPredValidation(t *testing.T) {
+	if _, err := newBlockPred(PredTwoLevel, 0, nil); err == nil {
+		t.Error("zero-bit two-level accepted")
+	}
+	if _, err := newBlockPred(PredPerfect, 12, nil); err == nil {
+		t.Error("perfect predictor without trace accepted")
+	}
+	if _, err := newBlockPred(BlockPredKind(99), 12, nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestPlacementRoundRobinDeterministic(t *testing.T) {
+	b := &isa.Block{ID: 0, Name: "x", Insts: make([]isa.Inst, 40)}
+	for i := range b.Insts {
+		b.Insts[i] = isa.Inst{Op: isa.OpMovi, LSID: isa.NoLSID}
+	}
+	p := &isa.Program{Blocks: []*isa.Block{b}}
+	place, err := computePlacement(PlaceRoundRobin, p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tile := range place[0] {
+		if tile != i%16 {
+			t.Fatalf("inst %d on tile %d", i, tile)
+		}
+	}
+	if _, err := computePlacement(PlacementKind(42), p, 16); err == nil {
+		t.Error("unknown placement accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if PredLastTarget.String() == "unknown" || PredTwoLevel.String() == "unknown" || PredPerfect.String() == "unknown" {
+		t.Error("predictor kind names")
+	}
+	if PlaceRoundRobin.String() == "unknown" || PlaceChain.String() == "unknown" {
+		t.Error("placement kind names")
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// squashFrom removes every in-flight block with sequence >= fromSeq and
+// arranges for fetch to resume at resumeID.  Frame generations advance so
+// that every message still in flight for a squashed block is dropped on
+// arrival.
+func (mc *Machine) squashFrom(fromSeq int64, resumeID int) {
+	cut := len(mc.window)
+	for i, b := range mc.window {
+		if b.seq >= fromSeq {
+			cut = i
+			break
+		}
+	}
+	for _, b := range mc.window[cut:] {
+		if mc.tracer != nil {
+			mc.tracer.Record(mc.cycle, trace.KindBlockSquash, b.seq, 0, 0)
+		}
+		mc.frameBusy[b.frame] = false
+		mc.frameGens[b.frame]++
+		mc.stats.SquashedBlocks++
+		for i := range b.insts {
+			mc.stats.SquashedExecs += b.insts[i].fired
+		}
+	}
+	mc.window = mc.window[:cut]
+	mc.q.SquashFrom(fromSeq)
+	if mc.fetch.active && mc.fetch.seq >= fromSeq {
+		mc.fetch.active = false
+	}
+	mc.nextSeq = fromSeq
+	mc.resumeID = resumeID
+}
+
+// stepCommit retires the oldest block once its outputs are final: register
+// writes drain to the architectural file, stores drain to memory, the next-
+// block predictor trains, and the frame frees.  At most one block commits
+// per cycle.
+func (mc *Machine) stepCommit() {
+	if len(mc.window) == 0 {
+		return
+	}
+	b := mc.window[0]
+	if !b.outputsCommitted() {
+		return
+	}
+	target := int(b.branch.Value)
+
+	// The committed branch already validated the successor path
+	// (checkSuccessor), except for the halt case where nothing should
+	// follow: clear any mispredicted younger blocks now.
+	if target == isa.HaltTarget && (len(mc.window) > 1 || mc.fetch.active) {
+		mc.squashFrom(b.seq+1, isa.HaltTarget)
+	}
+
+	for i := range b.writes {
+		mc.arch[b.bdef.Writes[i].Reg] = b.writes[i].slot.Value
+	}
+	mc.stats.DrainedStores += int64(mc.q.Drain(b.seq))
+	mc.trainPredictor(b.blockID, target)
+
+	if mc.tracer != nil {
+		mc.tracer.Record(mc.cycle, trace.KindBlockCommit, b.seq, 0, 0)
+	}
+	mc.frameBusy[b.frame] = false
+	mc.frameGens[b.frame]++
+	mc.window = mc.window[1:]
+	mc.committed++
+	mc.lastCommitCycle = mc.cycle
+	for i := range b.insts {
+		if b.insts[i].fired > 0 {
+			mc.stats.CommittedExecs++
+		}
+	}
+
+	if target == isa.HaltTarget {
+		mc.done = true
+		return
+	}
+	if len(mc.window) == 0 && !mc.fetch.active {
+		mc.resumeID = target
+	}
+}

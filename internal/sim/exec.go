@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/trace"
+)
+
+// enqueueReady places an instruction in its tile's ready queue if it can
+// execute and is not already queued.
+func (mc *Machine) enqueueReady(b *blockInst, idx int) {
+	st := &b.insts[idx]
+	if st.queued || !st.needExec {
+		return
+	}
+	in := &b.bdef.Insts[idx]
+	if !st.operandsPresent(in) {
+		return
+	}
+	if en, ok := st.predEnabled(in); !ok || !en {
+		return
+	}
+	st.queued = true
+	t := &mc.tiles[mc.instTile(b.blockID, idx)]
+	t.ready = append(t.ready, instRef{frame: b.frame, gen: b.gen, seq: b.seq, idx: idx})
+}
+
+// stepTiles issues at most one instruction per tile per cycle (oldest block
+// first, then lowest index) and retires completed executions.
+func (mc *Machine) stepTiles() {
+	for ti := range mc.tiles {
+		t := &mc.tiles[ti]
+
+		// Retire completions.
+		if len(t.busy) > 0 {
+			kept := t.busy[:0]
+			for _, j := range t.busy {
+				if j.completeAt > mc.cycle {
+					kept = append(kept, j)
+					continue
+				}
+				mc.completeExec(j)
+			}
+			t.busy = kept
+		}
+
+		// Issue one ready instruction.
+		if len(t.ready) == 0 {
+			continue
+		}
+		best := -1
+		for i, r := range t.ready {
+			b := mc.blockAt(r.seq)
+			if b == nil || b.frame != r.frame || b.gen != r.gen {
+				// Stale (squashed) entry: drop in place.
+				t.ready[i] = t.ready[len(t.ready)-1]
+				t.ready = t.ready[:len(t.ready)-1]
+				mc.stepTileIssueRetry(t)
+				best = -2
+				break
+			}
+			if best < 0 || r.seq < t.ready[best].seq ||
+				(r.seq == t.ready[best].seq && r.idx < t.ready[best].idx) {
+				best = i
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		r := t.ready[best]
+		t.ready[best] = t.ready[len(t.ready)-1]
+		t.ready = t.ready[:len(t.ready)-1]
+
+		b := mc.blockAt(r.seq)
+		st := &b.insts[r.idx]
+		st.queued = false
+		// Readiness may have lapsed (e.g. predicate flipped since enqueue).
+		in := &b.bdef.Insts[r.idx]
+		if !st.needExec || !st.operandsPresent(in) {
+			continue
+		}
+		if en, ok := st.predEnabled(in); !ok || !en {
+			continue
+		}
+		st.needExec = false
+		st.inflight++
+		lat := mc.cfg.opLatency(in.Op)
+		t.busy = append(t.busy, aluJob{
+			completeAt: mc.cycle + int64(lat),
+			frame:      r.frame, gen: r.gen, seq: r.seq, idx: r.idx,
+		})
+		mc.stats.Issued++
+	}
+}
+
+// stepTileIssueRetry exists only to keep the stale-drop path readable; the
+// tile simply forgoes its issue slot this cycle after compaction.
+func (mc *Machine) stepTileIssueRetry(*tileState) {}
+
+// completeExec finishes one ALU execution: the result is computed from the
+// *current* operand slots and broadcast to the instruction's targets.
+func (mc *Machine) completeExec(j aluJob) {
+	b := mc.blockAt(j.seq)
+	if b == nil || b.frame != j.frame || b.gen != j.gen {
+		return // squashed while executing
+	}
+	st := &b.insts[j.idx]
+	in := &b.bdef.Insts[j.idx]
+	st.inflight--
+
+	// The predicate may have flipped mid-execution; the enqueue triggered
+	// by that flip handles re-evaluation, this result is dead.
+	if en, ok := st.predEnabled(in); !ok || !en {
+		return
+	}
+	if !st.operandsPresent(in) {
+		return
+	}
+
+	a := st.slots[isa.SlotA].Value
+	bv := st.slots[isa.SlotB].Value
+	outTag := core.Tag(0)
+	for s := isa.SlotA; s < isa.NumSlots; s++ {
+		if in.NeedsSlot(s) {
+			outTag = core.MaxTag(outTag, st.slots[s].Tag)
+		}
+	}
+
+	st.fired++
+	mc.stats.Executed++
+	if st.fired > 1 {
+		mc.stats.Reexecs++
+		mc.wave.Reexecuted(outTag)
+		if mc.tracer != nil {
+			mc.tracer.Record(mc.cycle, trace.KindReexec, b.seq, j.idx, uint64(outTag))
+		}
+	} else if mc.tracer != nil {
+		mc.tracer.Record(mc.cycle, trace.KindExec, b.seq, j.idx, uint64(outTag))
+	}
+
+	committed := st.inputsCommitted(in)
+	src := mc.tiles[mc.instTile(b.blockID, j.idx)].node
+
+	switch {
+	case in.Op.IsLoad():
+		addr := uint64(a + in.Imm)
+		mc.send(src, mc.memNode(addr), message{
+			kind: msgLoadReq, frame: b.frame, gen: b.gen, seq: b.seq,
+			idx: uint8(j.idx), lsid: in.LSID, addr: addr, tag: outTag, committed: committed,
+		})
+		st.lastOut, st.outTag, st.execValid = int64(addr), outTag, true
+	case in.Op.IsStore():
+		addr := uint64(a + in.Imm)
+		addrCom, dataCom := st.storeCommitFlags(in)
+		mc.send(src, mc.memNode(addr), message{
+			kind: msgStoreReq, frame: b.frame, gen: b.gen, seq: b.seq,
+			idx: uint8(j.idx), lsid: in.LSID, addr: addr, value: bv, tag: outTag,
+			committed: committed, addrCom: addrCom, dataCom: dataCom,
+		})
+		st.sentAddrCom, st.sentDataCom = addrCom, dataCom
+		st.lastOut, st.outTag, st.execValid = int64(addr)^bv, outTag, true
+	case in.Op.IsBranch():
+		target := in.Imm
+		if in.Op == isa.OpBri {
+			target = a
+		}
+		mc.send(src, mc.ctrlNode(), message{
+			kind: msgBranch, frame: b.frame, gen: b.gen, seq: b.seq,
+			idx: uint8(j.idx), value: target, tag: outTag, committed: committed,
+		})
+		st.lastOut, st.outTag, st.execValid = target, outTag, true
+	default:
+		v := isa.Eval(in.Op, a, bv, in.Imm)
+		st.lastOut, st.outTag, st.execValid = v, outTag, true
+		for _, tgt := range in.Targets {
+			mc.routeTarget(b, tgt, v, outTag, committed, src, 0)
+		}
+	}
+	if committed {
+		st.committedSent = true
+	}
+}
+
+// maybeEmitCommitOnly re-emits an instruction's (unchanged) output with the
+// committed flag once all its inputs have committed without changing the
+// value — the commit wave catching up to a speculative wave that was
+// already correct.
+func (mc *Machine) maybeEmitCommitOnly(b *blockInst, idx int) {
+	st := &b.insts[idx]
+	in := &b.bdef.Insts[idx]
+	if st.committedSent || !st.execValid || st.needExec || st.inflight > 0 {
+		return
+	}
+	if en, ok := st.predEnabled(in); !ok || !en {
+		return
+	}
+	if !st.inputsCommitted(in) {
+		return
+	}
+	st.committedSent = true
+	src := mc.tiles[mc.instTile(b.blockID, idx)].node
+	switch {
+	case in.Op.IsLoad():
+		mc.send(src, mc.memNode(uint64(st.lastOut)), message{
+			kind: msgLoadReq, frame: b.frame, gen: b.gen, seq: b.seq,
+			idx: uint8(idx), lsid: in.LSID, addr: uint64(st.lastOut), tag: st.outTag, committed: true,
+		})
+	case in.Op.IsStore():
+		a := st.slots[isa.SlotA].Value
+		d := st.slots[isa.SlotB].Value
+		mc.send(src, mc.memNode(uint64(a+in.Imm)), message{
+			kind: msgStoreReq, frame: b.frame, gen: b.gen, seq: b.seq,
+			idx: uint8(idx), lsid: in.LSID, addr: uint64(a + in.Imm), value: d, tag: st.outTag,
+			committed: true, addrCom: true, dataCom: true,
+		})
+		st.sentAddrCom, st.sentDataCom = true, true
+	case in.Op.IsBranch():
+		mc.send(src, mc.ctrlNode(), message{
+			kind: msgBranch, frame: b.frame, gen: b.gen, seq: b.seq,
+			idx: uint8(idx), value: st.lastOut, tag: st.outTag, committed: true,
+		})
+	default:
+		for _, tgt := range in.Targets {
+			mc.routeTarget(b, tgt, st.lastOut, st.outTag, true, src, 0)
+		}
+	}
+}
+
+// maybeEmitStorePartial informs the LSQ when the commit wave has reached a
+// store's address (or data) operand before the other: a committed,
+// non-overlapping store address is what lets younger independent loads
+// certify without waiting for this store's data.
+func (mc *Machine) maybeEmitStorePartial(b *blockInst, idx int) {
+	st := &b.insts[idx]
+	in := &b.bdef.Insts[idx]
+	if !in.Op.IsStore() || st.committedSent || !st.execValid || st.needExec || st.inflight > 0 {
+		return
+	}
+	if en, ok := st.predEnabled(in); !ok || !en {
+		return
+	}
+	addrCom, dataCom := st.storeCommitFlags(in)
+	if addrCom == st.sentAddrCom && dataCom == st.sentDataCom {
+		return
+	}
+	st.sentAddrCom, st.sentDataCom = addrCom, dataCom
+	a := st.slots[isa.SlotA].Value
+	d := st.slots[isa.SlotB].Value
+	src := mc.commitSrc(mc.tiles[mc.instTile(b.blockID, idx)].node)
+	mc.send(src, mc.memNode(uint64(a+in.Imm)), message{
+		kind: msgStoreReq, frame: b.frame, gen: b.gen, seq: b.seq,
+		idx: uint8(idx), lsid: in.LSID, addr: uint64(a + in.Imm), value: d, tag: st.outTag,
+		committed: addrCom && dataCom, addrCom: addrCom, dataCom: dataCom,
+	})
+}
+
+// maybeNullify handles a predicated instruction whose predicate resolved to
+// the disabling value: stores must tell the LSQ (so dependent loads revert
+// and, when the predicate is final, the block's store count can commit).
+func (mc *Machine) maybeNullify(b *blockInst, idx int) {
+	st := &b.insts[idx]
+	in := &b.bdef.Insts[idx]
+	if in.Pred == isa.PredNone || !in.Op.IsStore() {
+		return
+	}
+	p := &st.slots[isa.SlotP]
+	if !p.Present {
+		return
+	}
+	if en, _ := st.predEnabled(in); en {
+		return
+	}
+	// Send at most once per predicate version, plus once for the commit.
+	if p.Committed {
+		if st.nullCommSent {
+			return
+		}
+		st.nullCommSent = true
+	} else {
+		if st.nullSent && st.nullTag == p.Tag {
+			return
+		}
+		st.nullSent, st.nullTag = true, p.Tag
+	}
+	src := mc.tiles[mc.instTile(b.blockID, idx)].node
+	mc.send(src, mc.memNode(0), message{
+		kind: msgStoreNull, frame: b.frame, gen: b.gen, seq: b.seq,
+		idx: uint8(idx), lsid: in.LSID, committed: p.Committed,
+	})
+}

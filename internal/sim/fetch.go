@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/predictor"
+)
+
+// codeBase is the synthetic address where block code lives for I-cache
+// timing purposes (each block occupies 512 bytes: 128 4-byte instructions).
+const codeBase = 0x4000_0000
+
+// predictNext returns the predicted successor of the block at seq.
+func (mc *Machine) predictNext(seq int64, blockID int) int {
+	if pp, ok := mc.bpred.(*perfectPred); ok {
+		pp.seq = seq + 1
+	}
+	return mc.bpred.predict(blockID)
+}
+
+// trainPredictor records a block's final branch outcome at commit.
+func (mc *Machine) trainPredictor(blockID, actual int) {
+	mc.bpred.train(blockID, actual)
+}
+
+// fetchTargetNow computes which block should be fetched next, preferring a
+// resolved (possibly still speculative) branch outcome of the youngest
+// in-flight block over prediction.
+func (mc *Machine) fetchTargetNow() (seq int64, blockID int, ok bool) {
+	seq = mc.nextSeq
+	if len(mc.window) == 0 {
+		return seq, mc.resumeID, true
+	}
+	y := mc.window[len(mc.window)-1]
+	if y.seq+1 != seq {
+		// The youngest mapped block is not the predecessor of nextSeq only
+		// while a fetch is pending; callers check fetch.active first.
+		return 0, 0, false
+	}
+	if y.branch.Present {
+		return seq, int(y.branch.Value), true
+	}
+	return seq, mc.predictNext(y.seq, y.blockID), true
+}
+
+// stepFetch advances the fetch engine one cycle: complete a pending fetch
+// by mapping the block, or start a new fetch if a frame is free.
+func (mc *Machine) stepFetch() {
+	if mc.fetch.active {
+		if mc.cycle >= mc.fetch.readyAt {
+			mc.mapBlock(mc.fetch.seq, mc.fetch.blockID)
+			mc.fetch.active = false
+		}
+		return
+	}
+	if mc.done {
+		return
+	}
+	frame := int(mc.nextSeq) % mc.cfg.Frames
+	if mc.frameBusy[frame] {
+		mc.stats.FetchStallFrames++
+		return
+	}
+	seq, blockID, ok := mc.fetchTargetNow()
+	if !ok || blockID == isa.HaltTarget {
+		return
+	}
+	if cap := mc.cfg.LSQCapacity; cap > 0 {
+		if mc.q.Occupancy()+len(mc.memIdx[blockID]) > cap {
+			mc.stats.FetchStallLSQ++
+			return
+		}
+	}
+	if blockID < 0 || blockID >= len(mc.prog.Blocks) {
+		// A garbage indirect-branch prediction target: wait for resolution.
+		return
+	}
+	lat := mc.hier.InstAccess(codeBase+uint64(blockID)*512) + mc.cfg.FetchCycles
+	mc.fetch = pendingFetch{active: true, seq: seq, blockID: blockID, readyAt: mc.cycle + int64(lat)}
+	mc.stats.FetchedBlocks++
+}
+
+// mapBlock allocates a frame and injects the block into the window:
+// reservation stations are initialised, memory operations are registered
+// with the LSQ, register reads are bound and their values requested, and
+// zero-input instructions become ready.
+func (mc *Machine) mapBlock(seq int64, blockID int) {
+	bdef := mc.prog.Blocks[blockID]
+	frame := int(seq) % mc.cfg.Frames
+	mc.frameGens[frame]++
+	mc.frameBusy[frame] = true
+
+	b := &blockInst{
+		seq:     seq,
+		blockID: blockID,
+		bdef:    bdef,
+		frame:   frame,
+		gen:     mc.frameGens[frame],
+		insts:   make([]instState, len(bdef.Insts)),
+		writes:  make([]writeState, len(bdef.Writes)),
+		regRead: make(map[uint8]int, len(bdef.Reads)),
+	}
+	mc.window = append(mc.window, b)
+	mc.nextSeq = seq + 1
+	mc.stats.MappedBlocks++
+
+	// Register memory operations with the LSQ.
+	ops := make([]lsq.OpInfo, 0, len(mc.memIdx[blockID]))
+	for _, idx := range mc.memIdx[blockID] {
+		in := &bdef.Insts[idx]
+		ops = append(ops, lsq.OpInfo{
+			LSID:    in.LSID,
+			IsStore: in.Op.IsStore(),
+			Size:    in.Op.MemSize(),
+			PC:      predictor.MakePC(blockID, idx),
+		})
+		if in.Op.IsStore() {
+			b.numStores++
+		}
+	}
+	mc.q.RegisterBlock(seq, ops)
+
+	// Zero-input instructions (constants, unpredicated branches) are ready
+	// immediately.
+	for i := range bdef.Insts {
+		if bdef.Insts[i].NumInputs() == 0 {
+			st := &b.insts[i]
+			st.needExec = true
+			mc.enqueueReady(b, i)
+		}
+	}
+
+	// Map-time load-value prediction: a confident stride prediction is
+	// injected into the consumers immediately, before the load's address
+	// chain has even started — the full load-to-use latency is hidden and
+	// a wrong guess is repaired by a DSRE wave when the real value arrives.
+	if mc.vp != nil {
+		for _, idx := range mc.memIdx[blockID] {
+			in := &bdef.Insts[idx]
+			if !in.Op.IsLoad() {
+				continue
+			}
+			if pv, ok := mc.vp.Predict(predictor.MakePC(blockID, idx)); ok {
+				st := &b.insts[idx]
+				st.vpValid, st.vpValue = true, pv
+				mc.stats.VPIssued++
+				src := mc.tiles[mc.instTile(blockID, idx)].node
+				for _, t := range in.Targets {
+					mc.routeTarget(b, t, pv, 0, false, src, 1)
+				}
+			}
+		}
+	}
+
+	// Bind register reads to the youngest older in-flight writer, or the
+	// architectural file, and request initial values.
+	b.readBind = make([]int64, len(bdef.Reads))
+	for r := range bdef.Reads {
+		reg := bdef.Reads[r].Reg
+		b.regRead[reg] = r
+		b.readBind[r] = -1
+		for i := len(mc.window) - 2; i >= 0; i-- {
+			p := mc.window[i]
+			if p.bdef.WritesReg(reg) {
+				b.readBind[r] = p.seq
+				break
+			}
+		}
+		if b.readBind[r] < 0 {
+			// Architectural value: final by construction.
+			mc.pushRead(b, r, mc.arch[reg], 0, true, mc.cfg.RegReadLatency, mc.regNode(reg))
+			continue
+		}
+		// Pull whatever the producer's write slot already holds.
+		p := mc.blockAt(b.readBind[r])
+		w := writeIndex(p.bdef, reg)
+		ws := &p.writes[w]
+		if ws.slot.Present {
+			mc.pushRead(b, r, ws.slot.Value, ws.slot.Tag, ws.slot.Committed, mc.cfg.RegReadLatency, mc.regNode(reg))
+		}
+	}
+}
+
+// writeIndex finds the write slot index of reg in a block definition.
+func writeIndex(bdef *isa.Block, reg uint8) int {
+	for i, w := range bdef.Writes {
+		if w.Reg == reg {
+			return i
+		}
+	}
+	panic("sim: writeIndex: block does not write register")
+}
+
+// pushRead relays a register value from the register tile to a read slot's
+// dataflow targets.  delay models the register-file access before network
+// injection.
+func (mc *Machine) pushRead(b *blockInst, readIdx int, v int64, tag core.Tag, committed bool, delay, src int) {
+	rd := &b.bdef.Reads[readIdx]
+	for _, t := range rd.Targets {
+		mc.routeTarget(b, t, v, tag, committed, src, delay)
+	}
+}
+
+// routeTarget sends a produced value to one dataflow target (an operand
+// slot or a register write slot).
+func (mc *Machine) routeTarget(b *blockInst, t isa.Target, v int64, tag core.Tag, committed bool, src int, delay int) {
+	switch t.Kind {
+	case isa.TargetWrite:
+		reg := b.bdef.Writes[t.Index].Reg
+		mc.sendAfter(delay, src, mc.regNode(reg), message{
+			kind: msgWrite, frame: b.frame, gen: b.gen, seq: b.seq,
+			idx: t.Index, value: v, tag: tag, committed: committed,
+		})
+	case isa.TargetInst:
+		dst := mc.tiles[mc.instTile(b.blockID, int(t.Index))].node
+		mc.sendAfter(delay, src, dst, message{
+			kind: msgOperand, frame: b.frame, gen: b.gen, seq: b.seq,
+			idx: t.Index, slot: uint8(t.Slot), value: v, tag: tag, committed: committed,
+		})
+	}
+}

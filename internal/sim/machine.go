@@ -1,0 +1,277 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/lsq"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+)
+
+// aluJob is one execution in flight on a tile's (pipelined) ALU.
+type aluJob struct {
+	completeAt int64
+	frame      int
+	gen        uint32
+	seq        int64
+	idx        int
+}
+
+// instRef names an instruction instance waiting in a tile ready queue.
+type instRef struct {
+	frame int
+	gen   uint32
+	seq   int64
+	idx   int
+}
+
+// tileState is one execution tile: a ready queue feeding a pipelined ALU.
+type tileState struct {
+	node  int
+	ready []instRef
+	busy  []aluJob
+}
+
+// pendingFetch is the block fetch in progress.
+type pendingFetch struct {
+	active  bool
+	seq     int64
+	blockID int
+	readyAt int64
+}
+
+type injection struct {
+	src, dst int
+	msg      message
+}
+
+// Machine is the simulated processor, configured for one program run.
+type Machine struct {
+	cfg  Config
+	prog *isa.Program
+
+	arch [isa.NumRegs]int64
+	mem  *mem.Memory
+	hier *cache.Hierarchy
+	net  *noc.Network[message]
+	q    *lsq.Queue
+	tags core.TagSource
+	wave *core.WaveStats
+	ss   *predictor.StoreSet
+
+	bpred nextBlockPred
+	vp    *predictor.StrideValue // load-value predictor (ValuePredict)
+
+	// memIdx[blockID][lsid] = instruction index, for LSQ-side broadcasts.
+	memIdx [][]int
+	// placement[blockID][instIdx] = execution tile.
+	placement [][]int
+
+	window    []*blockInst
+	frameGens []uint32
+	frameBusy []bool
+	fetch     pendingFetch
+	nextSeq   int64
+	resumeID  int
+
+	cycle   int64
+	delayed map[int64][]injection
+	tiles   []tileState
+
+	committed       int64
+	lastCommitCycle int64
+	done            bool
+	finalTarget     int
+
+	stats  Stats
+	tracer Tracer
+	err    error // fatal protocol error detected during a handler
+}
+
+// Tracer receives execution events when attached (see internal/trace).
+type Tracer interface {
+	Record(cycle int64, kind trace.Kind, seq int64, idx int, tag uint64)
+}
+
+// SetTracer attaches an event tracer; nil detaches.
+func (mc *Machine) SetTracer(t Tracer) { mc.tracer = t }
+
+// New builds a machine for one run of prog from the given initial state.
+// The oracle table (from an emulator pre-pass) is required only for
+// IssueOracle; the perfect block trace only for PerfectBlockPred.
+func New(cfg Config, prog *isa.Program, regs *[isa.NumRegs]int64, m *mem.Memory, oracleDeps map[emu.MemRef]emu.MemRef, trace []int) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == core.IssueOracle && oracleDeps == nil {
+		return nil, fmt.Errorf("sim: oracle policy requires an oracle table")
+	}
+	hier, err := cache.NewHierarchy(cfg.Hier)
+	if err != nil {
+		return nil, err
+	}
+	kind := cfg.BlockPred
+	if cfg.PerfectBlockPred {
+		kind = PredPerfect
+	}
+	bpred, err := newBlockPred(kind, cfg.BlockPredBits, trace)
+	if err != nil {
+		return nil, err
+	}
+	mc := &Machine{
+		cfg:       cfg,
+		prog:      prog,
+		mem:       m.Clone(),
+		hier:      hier,
+		wave:      core.NewWaveStats(),
+		bpred:     bpred,
+		frameGens: make([]uint32, cfg.Frames),
+		frameBusy: make([]bool, cfg.Frames),
+		resumeID:  prog.Entry,
+		delayed:   make(map[int64][]injection),
+	}
+	if regs != nil {
+		mc.arch = *regs
+	}
+
+	mc.net, err = noc.New[message](cfg.netConfig(), mc.deliver)
+	if err != nil {
+		return nil, err
+	}
+
+	var oracle *predictor.Oracle
+	if cfg.Policy == core.IssueOracle {
+		deps := make(map[predictor.DynRef]predictor.DynRef, len(oracleDeps))
+		for l, s := range oracleDeps {
+			deps[predictor.DynRef{Seq: l.BlockSeq, LSID: l.LSID}] = predictor.DynRef{Seq: s.BlockSeq, LSID: s.LSID}
+		}
+		oracle = predictor.NewOracle(deps)
+	}
+	if cfg.Policy == core.IssueStoreSet {
+		mc.ss, err = predictor.New(cfg.StoreSet)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mc.q = lsq.New(lsq.Config{
+		Policy:           cfg.Policy,
+		ForwardLatency:   cfg.ForwardLatency,
+		ViolationLatency: cfg.ViolationLatency,
+	}, mc.mem, hier, &mc.tags, mc.ss, oracle)
+
+	mc.memIdx = make([][]int, len(prog.Blocks))
+	for i, b := range prog.Blocks {
+		idx := make([]int, 0, isa.MaxMemOps)
+		for j := range b.Insts {
+			if b.Insts[j].Op.IsMem() {
+				idx = append(idx, j)
+			}
+		}
+		mc.memIdx[i] = idx
+	}
+
+	nt := cfg.GridWidth * cfg.GridHeight
+	mc.tiles = make([]tileState, nt)
+	for i := range mc.tiles {
+		mc.tiles[i].node = mc.execNode(i)
+	}
+	mc.placement, err = computePlacement(cfg.Placement, prog, nt)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ValuePredict {
+		mc.vp = predictor.NewStrideValue()
+	}
+	return mc, nil
+}
+
+// Topology: column x=0 holds the global control tile (0,0) and the LSQ/data
+// tile (0,1); row y=0 from x=1 holds register-file banks; the execution
+// grid occupies x in [1, W], y in [1, H].
+
+func (mc *Machine) ctrlNode() int { return mc.net.Node(0, 0) }
+
+// memNode returns the D-tile port for an address: memory traffic is
+// interleaved across the left mesh column by cache-line address.  The LSQ
+// is logically unified; banking distributes its network ports (the TRIPS
+// D-tile arrangement).
+func (mc *Machine) memNode(addr uint64) int {
+	banks := mc.cfg.DTileBanks
+	if banks < 1 {
+		banks = 1
+	}
+	if banks > mc.cfg.GridHeight {
+		banks = mc.cfg.GridHeight
+	}
+	y := 1 + int((addr>>6)%uint64(banks))
+	return mc.net.Node(0, y)
+}
+
+func (mc *Machine) regNode(reg uint8) int {
+	return mc.net.Node(1+int(reg)%mc.cfg.GridWidth, 0)
+}
+
+func (mc *Machine) execNode(tile int) int {
+	return mc.net.Node(1+tile%mc.cfg.GridWidth, 1+tile/mc.cfg.GridWidth)
+}
+
+// instTile maps an instruction of a block to its execution tile, per the
+// configured placement policy.
+func (mc *Machine) instTile(blockID, idx int) int {
+	return mc.placement[blockID][idx]
+}
+
+// blockAt returns the in-flight block with the given sequence, or nil.
+func (mc *Machine) blockAt(seq int64) *blockInst {
+	if len(mc.window) == 0 {
+		return nil
+	}
+	first := mc.window[0].seq
+	i := seq - first
+	if i < 0 || i >= int64(len(mc.window)) {
+		return nil
+	}
+	return mc.window[i]
+}
+
+// live reports whether a message's (frame, gen) still names a live block.
+func (mc *Machine) live(m *message) *blockInst {
+	b := mc.blockAt(m.seq)
+	if b == nil || b.frame != m.frame || b.gen != m.gen {
+		return nil
+	}
+	return b
+}
+
+// send injects a message now.  A negative src delivers locally at dst
+// (the free-commit-token ablation path: 1-cycle latency, no bandwidth).
+func (mc *Machine) send(src, dst int, m message) {
+	if src < 0 {
+		src = dst
+	}
+	mc.net.Send(mc.cycle, src, dst, m)
+}
+
+// sendAfter injects a message after a delay (modelling structure latency
+// before the network, e.g. cache access time).
+func (mc *Machine) sendAfter(delay int, src, dst int, m message) {
+	if delay <= 0 {
+		mc.send(src, dst, m)
+		return
+	}
+	at := mc.cycle + int64(delay)
+	mc.delayed[at] = append(mc.delayed[at], injection{src: src, dst: dst, msg: m})
+}
+
+// fail records a fatal protocol error; the run loop surfaces it.
+func (mc *Machine) fail(format string, args ...any) {
+	if mc.err == nil {
+		mc.err = fmt.Errorf(format, args...)
+	}
+}

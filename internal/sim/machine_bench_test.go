@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+// BenchmarkMachine measures whole-machine simulation throughput in
+// simulated cycles per wall second.
+func BenchmarkMachine(b *testing.B) {
+	for _, k := range []string{"histogram", "vecsum"} {
+		b.Run(k, func(b *testing.B) {
+			w := workload.MustBuild(k, workload.Params{Size: 1024})
+			er, _ := emu.Run(w.Program, &w.Regs, w.Mem, emu.Options{})
+			var cycles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.Policy = core.IssueAggressive
+				cfg.Recovery = core.RecoverDSRE
+				mc, err := New(cfg, w.Program, &w.Regs, w.Mem, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := mc.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = r.Stats.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles/run")
+			b.ReportMetric(float64(er.Insts), "sim-insts/run")
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// msgKind enumerates the traffic classes on the operand network.
+type msgKind uint8
+
+const (
+	// msgOperand delivers a value to an instruction operand slot.  With
+	// committed set it is (also) a commit-wave token: the value is final.
+	msgOperand msgKind = iota
+	// msgWrite delivers a value to a block register-write slot at a
+	// register tile; committed marks it final.
+	msgWrite
+	// msgLoadReq carries a load's address to the LSQ; committed means the
+	// address operands are final.
+	msgLoadReq
+	// msgStoreReq carries a store's address and data to the LSQ; committed
+	// means both are final.
+	msgStoreReq
+	// msgStoreNull tells the LSQ a predicated store resolved to not
+	// execute; committed means the predicate is final.
+	msgStoreNull
+	// msgBranch carries a branch outcome to the global control tile;
+	// committed marks it final.
+	msgBranch
+)
+
+func (k msgKind) String() string {
+	switch k {
+	case msgOperand:
+		return "operand"
+	case msgWrite:
+		return "write"
+	case msgLoadReq:
+		return "loadreq"
+	case msgStoreReq:
+		return "storereq"
+	case msgStoreNull:
+		return "storenull"
+	case msgBranch:
+		return "branch"
+	}
+	return "?"
+}
+
+// message is the operand-network payload.  Every message names the dynamic
+// block instance it belongs to by (frame, gen); messages whose generation
+// no longer matches the frame are stale remnants of a squashed block and
+// are dropped on arrival.
+type message struct {
+	kind  msgKind
+	frame int
+	gen   uint32
+	seq   int64
+
+	idx       uint8 // instruction index (msgOperand), write slot (msgWrite)
+	slot      uint8 // operand slot (msgOperand)
+	lsid      int8  // memory ops
+	value     int64 // operand/write/branch value, store data
+	addr      uint64
+	tag       core.Tag
+	committed bool
+	// Store-only partial commit flags: the commit wave reached the address
+	// and/or data operand (committed == both, or committed null).
+	addrCom bool
+	dataCom bool
+}
+
+func (m message) String() string {
+	return fmt.Sprintf("%s seq=%d idx=%d slot=%d v=%d tag=%d c=%v",
+		m.kind, m.seq, m.idx, m.slot, m.value, m.tag, m.committed)
+}

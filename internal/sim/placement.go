@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// PlacementKind selects how a block's instructions map onto execution
+// tiles — the scheduler decision the TRIPS compiler made spatially.
+type PlacementKind int
+
+// Placement policies.
+const (
+	// PlaceRoundRobin strides instructions across tiles by index: perfect
+	// load balance, oblivious to communication.
+	PlaceRoundRobin PlacementKind = iota
+	// PlaceChain puts an instruction on its first producer's tile when the
+	// tile still has frame slots, turning dependence chains into tile-local
+	// (bypass) operand hops at some load-balance cost.
+	PlaceChain
+)
+
+// String names the placement policy.
+func (k PlacementKind) String() string {
+	switch k {
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceChain:
+		return "chain"
+	}
+	return "unknown"
+}
+
+// computePlacement maps every instruction of every static block to a tile,
+// honouring the per-tile frame capacity (instruction slots per tile per
+// block).
+func computePlacement(kind PlacementKind, prog *isa.Program, tiles int) ([][]int, error) {
+	capPerTile := (isa.MaxInsts + tiles - 1) / tiles
+	place := make([][]int, len(prog.Blocks))
+	for bi, b := range prog.Blocks {
+		p := make([]int, len(b.Insts))
+		switch kind {
+		case PlaceRoundRobin:
+			for i := range b.Insts {
+				p[i] = i % tiles
+			}
+		case PlaceChain:
+			load := make([]int, tiles)
+			// producer[i] = instruction index feeding i's A slot, or -1.
+			producer := make([]int, len(b.Insts))
+			for i := range producer {
+				producer[i] = -1
+			}
+			for i := range b.Insts {
+				for _, t := range b.Insts[i].Targets {
+					if t.Kind == isa.TargetInst && t.Slot == isa.SlotA && producer[t.Index] < 0 {
+						producer[t.Index] = i
+					}
+				}
+			}
+			rr := 0
+			for i := range b.Insts {
+				tile := -1
+				if pr := producer[i]; pr >= 0 && load[p[pr]] < capPerTile {
+					tile = p[pr]
+				}
+				if tile < 0 {
+					// Least-loaded fallback starting from a rotating cursor.
+					tile = rr % tiles
+					for probe := 0; probe < tiles; probe++ {
+						cand := (rr + probe) % tiles
+						if load[cand] < load[tile] {
+							tile = cand
+						}
+					}
+					rr++
+				}
+				p[i] = tile
+				load[tile]++
+			}
+		default:
+			return nil, fmt.Errorf("sim: unknown placement policy %d", kind)
+		}
+		place[bi] = p
+	}
+	return place, nil
+}

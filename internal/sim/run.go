@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	Regs   [isa.NumRegs]int64
+	Mem    *mem.Memory
+	Blocks int64
+	Stats  Stats
+}
+
+// Run simulates to completion (the committed halt branch) and returns the
+// final architectural state and statistics.
+func (mc *Machine) Run() (*Result, error) {
+	maxCycles := mc.cfg.maxCycles()
+	deadlock := mc.cfg.deadlockCycles()
+	for !mc.done {
+		if mc.err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", mc.cycle, mc.err)
+		}
+		if mc.cycle >= maxCycles {
+			return nil, fmt.Errorf("sim: cycle budget %d exhausted (%d blocks committed)", maxCycles, mc.committed)
+		}
+		if mc.cycle-mc.lastCommitCycle > deadlock {
+			return nil, fmt.Errorf("sim: no commit for %d cycles at cycle %d — protocol deadlock\n%s",
+				deadlock, mc.cycle, mc.debugDump())
+		}
+		mc.step()
+	}
+	mc.snapshotStats()
+	return &Result{Regs: mc.arch, Mem: mc.mem, Blocks: mc.committed, Stats: mc.stats}, nil
+}
+
+// step advances the machine one cycle.
+func (mc *Machine) step() {
+	// Structure-latency completions (cache replies, recovery broadcasts)
+	// inject into the network first.
+	if inj, ok := mc.delayed[mc.cycle]; ok {
+		delete(mc.delayed, mc.cycle)
+		for _, i := range inj {
+			mc.send(i.src, i.dst, i.msg)
+		}
+	}
+
+	// Network: arrivals dispatch to the handlers.
+	mc.net.Tick(mc.cycle)
+
+	// LSQ: deferred loads whose policy wait resolved, and loads whose
+	// values became certifiable (the memory leg of the commit wave).
+	for _, rl := range mc.q.TakeReady(mc.cycle) {
+		b := mc.blockAt(rl.Load.Seq)
+		if b == nil {
+			continue
+		}
+		idx := mc.memIdx[b.blockID][rl.Load.LSID]
+		mc.emitLoadResult(b, idx, rl.Addr, rl.Res)
+	}
+	for _, c := range mc.q.TakeCertifiable() {
+		b := mc.blockAt(c.Load.Seq)
+		if b == nil {
+			continue
+		}
+		idx := mc.memIdx[b.blockID][c.Load.LSID]
+		mc.broadcastLoadReply(b, idx, c.Addr, c.Value, 0, mc.cfg.ForwardLatency, true)
+	}
+
+	mc.stepTiles()
+	mc.stepFetch()
+	mc.stepCommit()
+	mc.cycle++
+}
+
+// debugDump renders the stuck machine for deadlock diagnostics.
+func (mc *Machine) debugDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window (%d blocks):\n", len(mc.window))
+	for _, blk := range mc.window {
+		fmt.Fprintf(&b, "  seq=%d block=%d %q branch{p=%v c=%v v=%d} writes=%d/%d stores=%d/%d\n",
+			blk.seq, blk.blockID, blk.bdef.Name,
+			blk.branch.Present, blk.branch.Committed, blk.branch.Value,
+			blk.writesCommitted, len(blk.writes), blk.storesCommitted, blk.numStores)
+		for i := range blk.insts {
+			st := &blk.insts[i]
+			in := &blk.bdef.Insts[i]
+			if st.committedSent {
+				continue
+			}
+			var slots []string
+			for s := isa.SlotA; s < isa.NumSlots; s++ {
+				if in.NeedsSlot(s) {
+					sl := &st.slots[s]
+					slots = append(slots, fmt.Sprintf("%s{p=%v c=%v v=%d t=%d}", s, sl.Present, sl.Committed, sl.Value, sl.Tag))
+				}
+			}
+			fmt.Fprintf(&b, "    i%-3d %-24s fired=%d need=%v q=%v ev=%v %s\n",
+				i, in.String(), st.fired, st.needExec, st.queued, st.execValid, strings.Join(slots, " "))
+		}
+	}
+	fmt.Fprintf(&b, "fetch active=%v seq=%d id=%d  nextSeq=%d resume=%d net pending=%d\n",
+		mc.fetch.active, mc.fetch.seq, mc.fetch.blockID, mc.nextSeq, mc.resumeID, mc.net.Pending())
+	return b.String()
+}
+
+// Cycle returns the current cycle (for tests and tools).
+func (mc *Machine) Cycle() int64 { return mc.cycle }

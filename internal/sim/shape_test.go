@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/workload"
+)
+
+// runScheme simulates a workload under one (policy, recovery) pair and
+// returns its IPC (emulated instructions per simulated cycle).
+func runScheme(t *testing.T, name string, size int, policy core.IssuePolicy, rec core.RecoveryScheme) (ipc float64, st *Stats) {
+	t.Helper()
+	w := workload.MustBuild(name, workload.Params{Size: size})
+	er, err := emu.Run(w.Program, &w.Regs, w.Mem, emu.Options{CollectOracle: policy == core.IssueOracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	cfg.Recovery = rec
+	mc, err := New(cfg, w.Program, &w.Regs, w.Mem, er.Oracle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := mc.Run()
+	if err != nil {
+		t.Fatalf("%s %s+%s: %v", name, policy, rec, err)
+	}
+	return float64(er.Insts) / float64(r.Stats.Cycles), &r.Stats
+}
+
+// TestPerformanceShape is the regression guard for the paper's qualitative
+// claims: the scheme ordering must hold on the kernels that exhibit each
+// behaviour, even as latencies and parameters evolve.
+func TestPerformanceShape(t *testing.T) {
+	const size = 1024
+
+	t.Run("conservative is slowest on conflict-free streaming", func(t *testing.T) {
+		cons, _ := runScheme(t, "listsum", size, core.IssueConservative, core.RecoverFlush)
+		aggr, _ := runScheme(t, "listsum", size, core.IssueAggressive, core.RecoverDSRE)
+		if cons >= aggr {
+			t.Errorf("conservative %.3f >= aggressive+DSRE %.3f", cons, aggr)
+		}
+	})
+
+	t.Run("flush collapses under dense true dependences", func(t *testing.T) {
+		flush, fs := runScheme(t, "stencil", size, core.IssueAggressive, core.RecoverFlush)
+		dsre, _ := runScheme(t, "stencil", size, core.IssueAggressive, core.RecoverDSRE)
+		if fs.Flushes == 0 {
+			t.Fatal("stencil under aggressive+flush produced no flushes")
+		}
+		if dsre < 1.5*flush {
+			t.Errorf("DSRE %.3f not well above flush %.3f on stencil", dsre, flush)
+		}
+	})
+
+	t.Run("DSRE beats store-set where the predictor over-serialises", func(t *testing.T) {
+		ss, _ := runScheme(t, "histogram", size, core.IssueStoreSet, core.RecoverFlush)
+		dsre, _ := runScheme(t, "histogram", size, core.IssueAggressive, core.RecoverDSRE)
+		if dsre <= ss {
+			t.Errorf("DSRE %.3f <= store-set %.3f on histogram", dsre, ss)
+		}
+	})
+
+	t.Run("oracle bounds every scheme", func(t *testing.T) {
+		for _, name := range []string{"histogram", "bank", "hashmap"} {
+			oracle, os := runScheme(t, name, size, core.IssueOracle, core.RecoverDSRE)
+			if os.LSQ.Violations != 0 {
+				t.Errorf("%s: oracle mis-speculated %d times", name, os.LSQ.Violations)
+			}
+			dsre, _ := runScheme(t, name, size, core.IssueAggressive, core.RecoverDSRE)
+			// DSRE must reach a large fraction of oracle performance (the
+			// abstract claims 82% on SPEC; our kernels achieve more).
+			if dsre < 0.75*oracle {
+				t.Errorf("%s: DSRE %.3f below 75%% of oracle %.3f", name, dsre, oracle)
+			}
+		}
+	})
+
+	t.Run("store-set eliminates predictable violations", func(t *testing.T) {
+		_, as := runScheme(t, "stencil", size, core.IssueAggressive, core.RecoverFlush)
+		_, ss := runScheme(t, "stencil", size, core.IssueStoreSet, core.RecoverFlush)
+		if ss.LSQ.Violations*10 >= as.LSQ.Violations {
+			t.Errorf("store-set violations %d not well below aggressive %d",
+				ss.LSQ.Violations, as.LSQ.Violations)
+		}
+	})
+
+	t.Run("DSRE re-executes instead of flushing", func(t *testing.T) {
+		_, st := runScheme(t, "stencil", size, core.IssueAggressive, core.RecoverDSRE)
+		if st.Flushes != 0 {
+			t.Errorf("DSRE flushed %d times", st.Flushes)
+		}
+		if st.DSRECorrections == 0 || st.Reexecs == 0 {
+			t.Errorf("DSRE produced no selective re-execution (corr=%d reex=%d)",
+				st.DSRECorrections, st.Reexecs)
+		}
+		if st.WaveCount == 0 {
+			t.Error("no waves accounted")
+		}
+	})
+}

@@ -1,0 +1,188 @@
+// Package stats provides the counters, histograms and table rendering shared
+// by the simulator, the command-line tools and the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Hist is a power-of-two-bucketed histogram of non-negative values.
+// Bucket i counts values in [2^i, 2^(i+1)); bucket 0 counts 0 and 1.
+type Hist struct {
+	Buckets [32]int64
+	N       int64
+	Sum     int64
+	Max     int64
+}
+
+// Add records one observation.
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	b := 0
+	for x := v; x > 1 && b < len(h.Buckets)-1; x >>= 1 {
+		b++
+	}
+	h.Buckets[b]++
+}
+
+// Mean returns the average observation, or 0 with no data.
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Percentile returns an upper bound for the p-th percentile (p in [0,100]),
+// using bucket upper edges.
+func (h *Hist) Percentile(p float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(float64(h.N) * p / 100))
+	if target <= 0 {
+		target = 1
+	}
+	var seen int64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= target {
+			edge := int64(1)
+			if i > 0 {
+				edge = (1 << uint(i+1)) - 1
+			}
+			if edge > h.Max {
+				edge = h.Max
+			}
+			return edge
+		}
+	}
+	return h.Max
+}
+
+// String renders the non-empty buckets compactly.
+func (h *Hist) String() string {
+	var parts []string
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = 1 << uint(i)
+		}
+		parts = append(parts, fmt.Sprintf("[%d..]:%d", lo, c))
+	}
+	return fmt.Sprintf("n=%d mean=%.1f max=%d %s", h.N, h.Mean(), h.Max, strings.Join(parts, " "))
+}
+
+// Table accumulates rows and renders them with aligned columns, in the
+// style of the tables in an ASPLOS evaluation section.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	numeric []bool
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Row appends a row; cells are rendered with %v, and float64 cells with
+// three significant decimals.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// GeoMean returns the geometric mean of positive values; zero or negative
+// inputs are skipped (matching how speedup figures treat missing bars).
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Ratio returns a/b, or 0 when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// SortedKeys returns the keys of a string-keyed map in sorted order.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 2, 3, 7, 100} {
+		h.Add(v)
+	}
+	if h.N != 6 {
+		t.Errorf("N = %d", h.N)
+	}
+	if h.Max != 100 {
+		t.Errorf("Max = %d", h.Max)
+	}
+	if got := h.Mean(); math.Abs(got-113.0/6) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+	if h.Percentile(100) != 100 {
+		t.Errorf("p100 = %d", h.Percentile(100))
+	}
+	if p50 := h.Percentile(50); p50 > 3 {
+		t.Errorf("p50 = %d", p50)
+	}
+	var empty Hist
+	if empty.Mean() != 0 || empty.Percentile(50) != 0 {
+		t.Error("empty hist should report zeros")
+	}
+}
+
+// TestHistPercentileBounds property: percentiles never exceed the maximum
+// observation and are monotone in p.
+func TestHistPercentileBounds(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var h Hist
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		if h.N == 0 {
+			return true
+		}
+		last := int64(0)
+		for _, p := range []float64{10, 50, 90, 99, 100} {
+			q := h.Percentile(p)
+			if q > h.Max || q < last {
+				return false
+			}
+			last = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistNegativeClamped(t *testing.T) {
+	var h Hist
+	h.Add(-5)
+	if h.Max != 0 || h.Sum != 0 {
+		t.Errorf("negative not clamped: %+v", h)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Row("alpha", 1)
+	tb.Row("b", 2.5)
+	s := tb.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "2.500", "----"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 1, 1}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("GeoMean(1,1,1) = %v", got)
+	}
+	// Zeros and negatives are skipped, not poisonous.
+	if got := GeoMean([]float64{0, -3, 4}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean with zeros = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3)")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio by zero must be 0")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+func TestHistString(t *testing.T) {
+	var h Hist
+	h.Add(5)
+	if s := h.String(); !strings.Contains(s, "n=1") {
+		t.Errorf("String = %q", s)
+	}
+}

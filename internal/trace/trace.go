@@ -1,0 +1,192 @@
+// Package trace records and renders simulator execution events: what fired
+// when, which executions were speculative-wave re-executions, and where
+// blocks committed or squashed.  It exists for the wave-visualisation
+// example and for debugging protocol behaviour; collection is off unless a
+// Collector is attached to the machine.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindExec        Kind = iota // first execution of an instruction instance
+	KindReexec                  // re-execution (a speculative wave re-firing)
+	KindCorrection              // corrected load value injected (wave origin)
+	KindBlockCommit             // block retired architecturally
+	KindBlockSquash             // block discarded (flush or branch squash)
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindExec:
+		return "exec"
+	case KindReexec:
+		return "reexec"
+	case KindCorrection:
+		return "correction"
+	case KindBlockCommit:
+		return "commit"
+	case KindBlockSquash:
+		return "squash"
+	}
+	return "?"
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Cycle int64
+	Kind  Kind
+	Seq   int64 // dynamic block sequence
+	Idx   int   // instruction index within the block (execution events)
+	Tag   uint64
+}
+
+// Collector implements the simulator's tracer hook, keeping up to Cap
+// events (zero means DefaultCap).
+type Collector struct {
+	Cap    int
+	Events []Event
+	// Dropped counts events beyond Cap.
+	Dropped int64
+}
+
+// DefaultCap bounds collection when Cap is zero.
+const DefaultCap = 1 << 20
+
+// Record appends an event, honouring the cap.
+func (c *Collector) Record(cycle int64, kind Kind, seq int64, idx int, tag uint64) {
+	cap := c.Cap
+	if cap == 0 {
+		cap = DefaultCap
+	}
+	if len(c.Events) >= cap {
+		c.Dropped++
+		return
+	}
+	c.Events = append(c.Events, Event{Cycle: cycle, Kind: kind, Seq: seq, Idx: idx, Tag: tag})
+}
+
+// Counts tallies events by kind.
+func (c *Collector) Counts() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range c.Events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Timeline renders an ASCII activity profile: one row per event kind,
+// cycles bucketed into width columns, glyph intensity by count.
+func (c *Collector) Timeline(width int) string {
+	if len(c.Events) == 0 {
+		return "(no events)\n"
+	}
+	if width <= 0 {
+		width = 72
+	}
+	lo, hi := c.Events[0].Cycle, c.Events[0].Cycle
+	for _, e := range c.Events {
+		if e.Cycle < lo {
+			lo = e.Cycle
+		}
+		if e.Cycle > hi {
+			hi = e.Cycle
+		}
+	}
+	span := hi - lo + 1
+	bucket := func(cyc int64) int {
+		b := int((cyc - lo) * int64(width) / span)
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+	kinds := []Kind{KindExec, KindReexec, KindCorrection, KindBlockCommit, KindBlockSquash}
+	counts := make(map[Kind][]int, len(kinds))
+	for _, k := range kinds {
+		counts[k] = make([]int, width)
+	}
+	for _, e := range c.Events {
+		counts[e.Kind][bucket(e.Cycle)]++
+	}
+	glyphs := []rune(" .:-=+*#%@")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles %d..%d (%d per column)\n", lo, hi, (span+int64(width)-1)/int64(width))
+	for _, k := range kinds {
+		row := counts[k]
+		max := 0
+		total := 0
+		for _, n := range row {
+			if n > max {
+				max = n
+			}
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s |", k)
+		for _, n := range row {
+			g := 0
+			if max > 0 && n > 0 {
+				g = 1 + n*(len(glyphs)-2)/max
+			}
+			sb.WriteRune(glyphs[g])
+		}
+		fmt.Fprintf(&sb, "| %d\n", total)
+	}
+	return sb.String()
+}
+
+// WaveReport summarises the first few recovery waves: origin cycle and the
+// re-executions attributed to each wave tag.
+func (c *Collector) WaveReport(max int) string {
+	type wave struct {
+		start   int64
+		seq     int64
+		reexecs int
+	}
+	byTag := make(map[uint64]*wave)
+	var order []uint64
+	for _, e := range c.Events {
+		switch e.Kind {
+		case KindCorrection:
+			if _, ok := byTag[e.Tag]; !ok {
+				byTag[e.Tag] = &wave{start: e.Cycle, seq: e.Seq}
+				order = append(order, e.Tag)
+			}
+		case KindReexec:
+			if w, ok := byTag[e.Tag]; ok {
+				w.reexecs++
+			}
+		}
+	}
+	if len(order) == 0 {
+		return "(no recovery waves)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d recovery waves; first %d:\n", len(order), min(max, len(order)))
+	for i, tag := range order {
+		if i >= max {
+			break
+		}
+		w := byTag[tag]
+		fmt.Fprintf(&sb, "  wave tag=%-6d cycle=%-8d block=%-5d re-executions=%d\n",
+			tag, w.start, w.seq, w.reexecs)
+	}
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

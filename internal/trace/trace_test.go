@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollectorRecordsAndCaps(t *testing.T) {
+	c := &Collector{Cap: 3}
+	for i := 0; i < 5; i++ {
+		c.Record(int64(i), KindExec, 0, i, 0)
+	}
+	if len(c.Events) != 3 || c.Dropped != 2 {
+		t.Fatalf("events=%d dropped=%d", len(c.Events), c.Dropped)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := &Collector{}
+	c.Record(1, KindExec, 0, 0, 0)
+	c.Record(2, KindExec, 0, 1, 0)
+	c.Record(3, KindReexec, 0, 0, 7)
+	got := c.Counts()
+	if got[KindExec] != 2 || got[KindReexec] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	c := &Collector{}
+	for i := int64(0); i < 100; i++ {
+		c.Record(i, KindExec, 0, 0, 0)
+	}
+	c.Record(50, KindCorrection, 1, 2, 9)
+	s := c.Timeline(40)
+	if !strings.Contains(s, "exec") || !strings.Contains(s, "correction") {
+		t.Errorf("timeline missing rows:\n%s", s)
+	}
+	if !strings.Contains(s, "cycles 0..99") {
+		t.Errorf("timeline missing range:\n%s", s)
+	}
+	// Kinds with no events are omitted.
+	if strings.Contains(s, "squash") {
+		t.Errorf("empty kind rendered:\n%s", s)
+	}
+	if (&Collector{}).Timeline(40) != "(no events)\n" {
+		t.Error("empty collector rendering")
+	}
+}
+
+func TestWaveReport(t *testing.T) {
+	c := &Collector{}
+	c.Record(10, KindCorrection, 3, 5, 1)
+	c.Record(11, KindReexec, 3, 6, 1)
+	c.Record(12, KindReexec, 3, 7, 1)
+	c.Record(20, KindCorrection, 4, 5, 2)
+	s := c.WaveReport(10)
+	if !strings.Contains(s, "2 recovery waves") {
+		t.Errorf("report:\n%s", s)
+	}
+	if !strings.Contains(s, "re-executions=2") {
+		t.Errorf("wave 1 attribution missing:\n%s", s)
+	}
+	if (&Collector{}).WaveReport(5) != "(no recovery waves)\n" {
+		t.Error("empty wave report")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindExec; k <= KindBlockSquash; k++ {
+		if k.String() == "?" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+func init() {
+	register("cursor", "gcc/perlbmk (global pointer advanced through memory)", buildCursor)
+}
+
+// buildCursor walks an array through a cursor that lives in memory: every
+// iteration loads the cursor, dereferences it, advances it and stores it
+// back.  Each cursor load truly depends on the previous iteration's cursor
+// store (distance of two memory operations, same static instruction pair),
+// the access pattern compilers produce for global iterator variables.
+// Aggressive issue mis-speculates on almost every iteration; flush recovery
+// discards the window each time, while DSRE repairs just the cursor chain.
+// mem[ResultBase] = sum of elements; the cursor cell ends past the array.
+func buildCursor(p Params) (*Workload, error) {
+	p = p.withDefaults(4096, 2).clampUnroll(8)
+	n := roundUp(p.Size, p.Unroll)
+	const cursorCell = DataBase3 // the in-memory cursor
+
+	b := program.New("cursor")
+	loop := b.NewBlock("loop")
+	sum := loop.Read(rAcc)
+	curp := loop.Const(cursorCell)
+	end := loop.Read(rEnd)
+	eight := loop.Const(8)
+	cursor := loop.Load(curp, 0)
+	for k := 0; k < p.Unroll; k++ {
+		v := loop.Load(cursor, int64(8*k))
+		sum = loop.Op(isa.OpAdd, sum, v)
+	}
+	next := loop.Op(isa.OpAdd, cursor, loop.Op(isa.OpMul, eight, loop.Const(int64(p.Unroll))))
+	loop.Store(curp, 0, next)
+	loop.Write(rAcc, sum)
+	more := loop.Op(isa.OpTltu, next, end)
+	loop.BranchIf(more, "loop", "done")
+
+	done := b.NewBlock("done")
+	res := done.Read(rAcc)
+	done.Store(done.Const(ResultBase), 0, res)
+	done.Halt()
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	w := &Workload{Description: fmt.Sprintf("in-memory cursor walk over %d elements, unroll %d", n, p.Unroll), Params: p, Program: prog, Mem: mem.New()}
+	seed := p.Seed
+	var want int64
+	for i := 0; i < n; i++ {
+		v := int64(splitmix64(&seed) % 100000)
+		w.Mem.Write(DataBase+uint64(8*i), v, 8)
+		want += v
+	}
+	w.Mem.Write(cursorCell, DataBase, 8)
+	w.Regs[rEnd] = DataBase + int64(8*n)
+	w.Check = func(regs *[isa.NumRegs]int64, m *mem.Memory) error {
+		if err := checkU64(m, ResultBase, want, "cursor sum"); err != nil {
+			return err
+		}
+		return checkU64(m, cursorCell, DataBase+int64(8*n), "cursor final position")
+	}
+	return w, nil
+}

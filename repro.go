@@ -1,0 +1,286 @@
+// Package repro reproduces "Scalable selective re-execution for EDGE
+// architectures" (Desikan, Sethumadhavan, Burger, Keckler — ASPLOS 2004):
+// a cycle-level simulator of a TRIPS-like EDGE processor whose load-store
+// dependence mis-speculations are repaired either by conventional pipeline
+// flushes or by the paper's distributed selective re-execution (DSRE)
+// protocol.
+//
+// The package is a façade over the building blocks in internal/: the EDGE
+// ISA and program builder, the architectural emulator (golden model), the
+// benchmark kernels, and the simulator with its substrates (tiles, operand
+// mesh, caches, LSQ, dependence predictors).
+//
+// The one-call entry point is Run:
+//
+//	res, err := repro.Run(repro.Config{Workload: "histogram", Scheme: "dsre"})
+//	fmt.Println(res.IPC)
+//
+// Every Run double-checks the simulated machine against the architectural
+// emulator: a result is returned only if the final registers and memory
+// match the golden model exactly, so mis-speculation recovery can never
+// silently corrupt an experiment.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config selects a workload, a speculation scheme and machine parameters.
+// Zero values mean defaults (the TRIPS-like machine of the paper's
+// configuration table).
+type Config struct {
+	// Workload is a kernel name from Workloads().
+	Workload string
+	// Size scales the workload (elements/iterations); zero = kernel default.
+	Size int
+	// Unroll is the loop unrolling factor (block size); zero = default.
+	Unroll int
+	// Seed drives workload data; zero = 1.
+	Seed uint64
+
+	// Scheme is a name from Schemes(): how loads speculate and how
+	// mis-speculation recovers.  Empty means "dsre".
+	Scheme string
+
+	// Frames is the number of in-flight blocks (window = Frames × 128).
+	Frames int
+	// GridWidth and GridHeight size the execution-tile grid.
+	GridWidth, GridHeight int
+	// HopLatency and LinkBandwidth parameterise the operand mesh.
+	HopLatency, LinkBandwidth int
+
+	// CommitTokensFree delivers pure commit-wave tokens without consuming
+	// network bandwidth (ablation E6).
+	CommitTokensFree bool
+	// NoSuppressIdentical disables identical-value wave suppression
+	// (ablation E7).
+	NoSuppressIdentical bool
+	// PerfectBlockPred drives fetch from a perfect next-block trace,
+	// isolating memory-speculation effects from control speculation.
+	PerfectBlockPred bool
+	// BlockPredictor selects the next-block predictor: "twolevel"
+	// (default), "last" or "perfect".
+	BlockPredictor string
+	// Placement selects instruction-to-tile mapping: "roundrobin"
+	// (default) or "chain" (dependence-following).
+	Placement string
+	// StoreSetSize overrides the SSIT size (power of two).
+	StoreSetSize int
+	// MemLatency overrides the DRAM latency in cycles.
+	MemLatency int
+	// DTileBanks overrides the number of data-tile ports (0 = default 4;
+	// 1 = a single hot LSQ port — ablation E14).
+	DTileBanks int
+	// LSQCapacity bounds resident load/store queue entries; block mapping
+	// stalls when a block's memory ops would not fit (0 = unbounded).
+	LSQCapacity int
+	// ValuePredict enables stride load-value prediction with DSRE repair
+	// of mis-predictions (extension E16).
+	ValuePredict bool
+	// Trace attaches an execution-event collector; the Result's Trace field
+	// can then render timelines and wave reports (see internal/trace).
+	Trace bool
+}
+
+// Result is the outcome of one verified run.
+type Result struct {
+	Workload string
+	Scheme   string
+
+	Cycles int64
+	Insts  int64 // architecturally committed instructions (golden count)
+	IPC    float64
+	Blocks int64
+
+	Violations  int64 // load-store ordering violations detected
+	Flushes     int64 // pipeline flushes taken (flush recovery)
+	Corrections int64 // selective corrections injected (DSRE recovery)
+	Reexecs     int64 // instruction re-executions
+	Waves       int64 // recovery waves injected
+
+	// Sim exposes the full simulator statistics for detailed analysis.
+	Sim sim.Stats
+	// Trace holds execution events when Config.Trace was set.
+	Trace *trace.Collector
+}
+
+// Schemes returns the recognised scheme names, in the order the evaluation
+// reports them.
+func Schemes() []string {
+	return []string{
+		"conservative",    // loads wait for all older stores; never speculates
+		"aggressive+flush", // speculate always; flush on violation
+		"storeset+flush",  // store-set predictor; flush on violation
+		"dsre",            // speculate always; selective re-execution (the paper's protocol)
+		"storeset+dsre",   // store-set predictor; selective re-execution
+		"oracle",          // perfect dependence oracle (upper bound)
+	}
+}
+
+// ParseScheme maps a scheme name to its (policy, recovery) pair.
+func ParseScheme(name string) (core.IssuePolicy, core.RecoveryScheme, error) {
+	switch name {
+	case "conservative", "conservative+flush":
+		return core.IssueConservative, core.RecoverFlush, nil
+	case "conservative+dsre":
+		return core.IssueConservative, core.RecoverDSRE, nil
+	case "aggressive+flush":
+		return core.IssueAggressive, core.RecoverFlush, nil
+	case "storeset+flush", "storeset":
+		return core.IssueStoreSet, core.RecoverFlush, nil
+	case "dsre", "aggressive+dsre", "":
+		return core.IssueAggressive, core.RecoverDSRE, nil
+	case "storeset+dsre":
+		return core.IssueStoreSet, core.RecoverDSRE, nil
+	case "oracle", "oracle+dsre":
+		return core.IssueOracle, core.RecoverDSRE, nil
+	}
+	return 0, 0, fmt.Errorf("unknown scheme %q (have %v)", name, Schemes())
+}
+
+// Workloads returns the registered kernel names.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadAnalog describes which SPEC-2000 class a kernel stands in for.
+func WorkloadAnalog(name string) string { return workload.Analog(name) }
+
+// DefaultMachine returns the baseline machine configuration (experiment E1).
+func DefaultMachine() sim.Config { return sim.DefaultConfig() }
+
+// Run builds the workload, runs the golden-model emulator, simulates the
+// configured machine, verifies the architectural results match, and returns
+// the measurements.
+func Run(cfg Config) (*Result, error) {
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = "dsre"
+	}
+	policy, recovery, err := ParseScheme(scheme)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workload == "" {
+		return nil, fmt.Errorf("repro: no workload selected (have %v)", Workloads())
+	}
+	w, err := workload.Build(cfg.Workload, workload.Params{Size: cfg.Size, Unroll: cfg.Unroll, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	opts := emu.Options{CollectOracle: policy == core.IssueOracle}
+	if cfg.PerfectBlockPred || cfg.BlockPredictor == "perfect" {
+		opts.TraceBlocks = 1 << 30
+	}
+	golden, err := w.RunEmulator(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := sim.DefaultConfig()
+	sc.Policy = policy
+	sc.Recovery = recovery
+	if cfg.Frames > 0 {
+		sc.Frames = cfg.Frames
+	}
+	if cfg.GridWidth > 0 {
+		sc.GridWidth = cfg.GridWidth
+	}
+	if cfg.GridHeight > 0 {
+		sc.GridHeight = cfg.GridHeight
+	}
+	if cfg.HopLatency > 0 {
+		sc.HopLatency = cfg.HopLatency
+	}
+	if cfg.LinkBandwidth > 0 {
+		sc.LinkBandwidth = cfg.LinkBandwidth
+	}
+	if cfg.StoreSetSize > 0 {
+		sc.StoreSet.SSITSize = cfg.StoreSetSize
+	}
+	if cfg.MemLatency > 0 {
+		sc.Hier.MemLatency = cfg.MemLatency
+	}
+	if cfg.DTileBanks > 0 {
+		sc.DTileBanks = cfg.DTileBanks
+	}
+	if cfg.LSQCapacity > 0 {
+		sc.LSQCapacity = cfg.LSQCapacity
+	}
+	sc.ValuePredict = cfg.ValuePredict
+	sc.CommitTokensFree = cfg.CommitTokensFree
+	sc.SuppressIdenticalValues = !cfg.NoSuppressIdentical
+	sc.PerfectBlockPred = cfg.PerfectBlockPred
+	switch cfg.Placement {
+	case "", "roundrobin":
+		sc.Placement = sim.PlaceRoundRobin
+	case "chain":
+		sc.Placement = sim.PlaceChain
+	default:
+		return nil, fmt.Errorf("repro: unknown placement %q (roundrobin, chain)", cfg.Placement)
+	}
+	switch cfg.BlockPredictor {
+	case "", "twolevel":
+		sc.BlockPred = sim.PredTwoLevel
+	case "last":
+		sc.BlockPred = sim.PredLastTarget
+	case "perfect":
+		sc.BlockPred = sim.PredPerfect
+		sc.PerfectBlockPred = true
+	default:
+		return nil, fmt.Errorf("repro: unknown block predictor %q (twolevel, last, perfect)", cfg.BlockPredictor)
+	}
+
+	mc, err := sim.New(sc, w.Program, &w.Regs, w.Mem, golden.Oracle, golden.BlockTrace)
+	if err != nil {
+		return nil, err
+	}
+	var collector *trace.Collector
+	if cfg.Trace {
+		collector = &trace.Collector{}
+		mc.SetTracer(collector)
+	}
+	sr, err := mc.Run()
+	if err != nil {
+		return nil, fmt.Errorf("repro: %s/%s: %w", cfg.Workload, scheme, err)
+	}
+
+	// Verify against the golden model: the whole point of a recovery
+	// protocol is that speculation never changes architectural results.
+	if sr.Blocks != golden.Blocks {
+		return nil, fmt.Errorf("repro: %s/%s: committed %d blocks, golden model %d", cfg.Workload, scheme, sr.Blocks, golden.Blocks)
+	}
+	if sr.Regs != golden.Regs {
+		return nil, fmt.Errorf("repro: %s/%s: architectural registers diverged from golden model", cfg.Workload, scheme)
+	}
+	if !sr.Mem.Equal(golden.Mem) {
+		addr, _ := sr.Mem.FirstDiff(golden.Mem)
+		return nil, fmt.Errorf("repro: %s/%s: memory diverged from golden model at %#x", cfg.Workload, scheme, addr)
+	}
+	if w.Check != nil {
+		if err := w.Check(&sr.Regs, sr.Mem); err != nil {
+			return nil, fmt.Errorf("repro: %s/%s: workload check: %w", cfg.Workload, scheme, err)
+		}
+	}
+
+	return &Result{
+		Workload:    cfg.Workload,
+		Scheme:      scheme,
+		Cycles:      sr.Stats.Cycles,
+		Insts:       golden.Insts,
+		IPC:         float64(golden.Insts) / float64(sr.Stats.Cycles),
+		Blocks:      sr.Blocks,
+		Violations:  sr.Stats.LSQ.Violations,
+		Flushes:     sr.Stats.Flushes,
+		Corrections: sr.Stats.DSRECorrections,
+		Reexecs:     sr.Stats.Reexecs,
+		Waves:       sr.Stats.WaveCount,
+		Sim:         sr.Stats,
+		Trace:       collector,
+	}, nil
+}
