@@ -1,17 +1,29 @@
 // dsre-bench regenerates the tables and figures of the paper's evaluation
-// (experiments E1..E10, indexed in DESIGN.md).
+// (experiments E1..E16, indexed in DESIGN.md).  Every experiment it runs
+// also drops a machine-readable BENCH_<id>.json artifact so CI can track
+// the performance trajectory, and profiling hooks expose the harness's own
+// hot paths.
 //
 // Usage:
 //
 //	dsre-bench                 # run everything at full size
 //	dsre-bench -quick          # small sizes, for smoke runs
 //	dsre-bench -only E2,E4     # a subset of experiments
+//	dsre-bench -outdir out     # where BENCH_<id>.json artifacts go
+//	dsre-bench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//	dsre-bench -pprof localhost:6060   # live net/http/pprof listener
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -19,10 +31,65 @@ import (
 	"repro/internal/stats"
 )
 
+// artifactSchema identifies the BENCH_<id>.json wire format.
+const artifactSchema = "dsre-bench/v1"
+
+// artifact is one experiment's machine-readable result.
+type artifact struct {
+	Schema    string             `json:"schema"`
+	ID        string             `json:"id"`
+	Quick     bool               `json:"quick"`
+	Tables    []*stats.Table     `json:"tables"`
+	Headlines map[string]float64 `json:"headlines,omitempty"`
+	ElapsedMS int64              `json:"elapsed_ms"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "use small workload sizes")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E4); empty runs all")
+	outdir := flag.String("outdir", ".", "directory for BENCH_<id>.json artifacts (empty disables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "dsre-bench: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsre-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dsre-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsre-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dsre-bench: %v\n", err)
+			}
+		}()
+	}
 
 	o := experiments.Opts{Quick: *quick}
 	want := map[string]bool{}
@@ -35,68 +102,95 @@ func main() {
 
 	start := time.Now()
 	ran := 0
-	show := func(t *stats.Table) {
-		fmt.Println(t)
+	// emit prints an experiment's tables and writes its BENCH artifact.
+	emit := func(id string, headlines map[string]float64, tables ...*stats.Table) {
+		for _, t := range tables {
+			fmt.Println(t)
+		}
 		ran++
+		if *outdir == "" {
+			return
+		}
+		a := artifact{
+			Schema: artifactSchema, ID: id, Quick: *quick,
+			Tables: tables, Headlines: headlines,
+			ElapsedMS: time.Since(start).Milliseconds(),
+		}
+		data, err := json.MarshalIndent(&a, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsre-bench: marshal %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outdir, "BENCH_"+id+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dsre-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if sel("E1") {
-		show(experiments.E1ConfigTable())
+		emit("E1", nil, experiments.E1ConfigTable())
 	}
 	if sel("E2") || sel("E3") {
 		e2, e3, sum := experiments.E2E3Speedup(o)
+		headlines := map[string]float64{
+			"dsre_over_storeset_geomean":          sum.DSREOverStoreSet,
+			"dsre_over_storeset_conflict_geomean": sum.DSREOverStoreSetConflict,
+			"dsre_of_oracle_geomean":              sum.DSREOfOracle,
+		}
 		if sel("E2") {
-			show(e2)
+			emit("E2", headlines, e2)
 		}
 		if sel("E3") {
-			show(e3)
+			emit("E3", headlines, e3)
 		}
 		fmt.Printf("headline: DSRE vs storeset+flush geomean speedup = %.2fx all kernels, %.2fx conflict kernels (paper: 1.17x on SPEC)\n",
 			sum.DSREOverStoreSet, sum.DSREOverStoreSetConflict)
 		fmt.Printf("headline: DSRE reaches %.0f%% of oracle (paper: 82%%)\n\n", 100*sum.DSREOfOracle)
 	}
 	if sel("E4") {
-		show(experiments.E4WindowScaling(o))
+		emit("E4", nil, experiments.E4WindowScaling(o))
 	}
 	if sel("E5") {
-		show(experiments.E5Misspec(o))
+		emit("E5", nil, experiments.E5Misspec(o))
 	}
 	if sel("E6") {
-		show(experiments.E6CommitWave(o))
+		emit("E6", nil, experiments.E6CommitWave(o))
 	}
 	if sel("E7") {
-		show(experiments.E7Suppression(o))
+		emit("E7", nil, experiments.E7Suppression(o))
 	}
 	if sel("E8") {
-		show(experiments.E8WaveSizes(o))
+		emit("E8", nil, experiments.E8WaveSizes(o))
 	}
 	if sel("E9") {
-		show(experiments.E9HopLatency(o))
+		emit("E9", nil, experiments.E9HopLatency(o))
 	}
 	if sel("E10") {
-		show(experiments.E10StoreSetSize(o))
+		emit("E10", nil, experiments.E10StoreSetSize(o))
 	}
 	if sel("E11") {
-		show(experiments.E11BlockPredictors(o))
+		emit("E11", nil, experiments.E11BlockPredictors(o))
 	}
 	if sel("E12") {
-		show(experiments.E12WorkBreakdown(o))
+		emit("E12", nil, experiments.E12WorkBreakdown(o))
 	}
 	if sel("E13") {
-		show(experiments.E13Placement(o))
+		emit("E13", nil, experiments.E13Placement(o))
 	}
 	if sel("E14") {
-		show(experiments.E14DTileBanks(o))
+		emit("E14", nil, experiments.E14DTileBanks(o))
 	}
 	if sel("E15") {
-		show(experiments.E15LSQCapacity(o))
+		emit("E15", nil, experiments.E15LSQCapacity(o))
 	}
 	if sel("E16") {
-		show(experiments.E16ValuePrediction(o))
+		emit("E16", nil, experiments.E16ValuePrediction(o))
 	}
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched %q\n", *only)
+		fmt.Fprintf(os.Stderr, "no experiments matched %q (have %s)\n",
+			*only, strings.Join(experiments.IDs(), ","))
 		os.Exit(1)
 	}
 	fmt.Printf("(%d experiment groups in %v)\n", ran, time.Since(start).Round(time.Millisecond))

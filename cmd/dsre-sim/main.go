@@ -6,16 +6,25 @@
 //
 //	dsre-sim -workload histogram -scheme dsre
 //	dsre-sim -workload bank -scheme storeset+flush -frames 16 -size 8192
+//	dsre-sim -workload bank -json out.json -trace-out trace.json \
+//	         -samples-csv samples.csv -sample-every 100
 //	dsre-sim -list
+//
+// -json writes a dsre-report/v1 run report, -trace-out a Chrome
+// trace-event (chrome://tracing) JSON, and -samples-csv the telemetry
+// time series recorded every -sample-every cycles (see README
+// "Observability").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -39,8 +48,16 @@ func main() {
 	flag.IntVar(&cfg.LSQCapacity, "lsqcap", 0, "LSQ entry capacity (0 = unbounded)")
 	flag.BoolVar(&cfg.ValuePredict, "vp", false, "stride load-value prediction (repaired by DSRE waves)")
 	timeline := flag.Bool("timeline", false, "render an execution timeline and wave report")
+	jsonOut := flag.String("json", "", "write the machine-readable run report to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (chrome://tracing) JSON to this file")
+	samplesCSV := flag.String("samples-csv", "", "write the telemetry time series as CSV to this file")
+	flag.IntVar(&cfg.SampleEvery, "sample-every", 0, "record a telemetry sample every N cycles (0 = off)")
 	flag.Parse()
 	cfg.Seed = *seed
+	if (*traceOut != "" || *samplesCSV != "") && cfg.SampleEvery == 0 {
+		// Trace and CSV exports want the counter time series too.
+		cfg.SampleEvery = 1000
+	}
 
 	if *list {
 		fmt.Println("workloads:")
@@ -59,7 +76,7 @@ func main() {
 	if *all {
 		schemes = repro.Schemes()
 	}
-	cfg.Trace = *timeline
+	cfg.Trace = *timeline || *traceOut != ""
 	for _, s := range schemes {
 		cfg.Scheme = s
 		res, err := repro.Run(cfg)
@@ -68,11 +85,79 @@ func main() {
 			os.Exit(1)
 		}
 		report(res)
-		if res.Trace != nil {
+		if len(res.Samples) > 0 {
+			fmt.Printf("  telemetry: %d sample windows (every %d cycles)\n",
+				len(res.Samples), cfg.SampleEvery)
+		}
+		if res.Trace != nil && *timeline {
 			fmt.Print(res.Trace.Timeline(72))
 			fmt.Print(res.Trace.WaveReport(5))
 		}
+		if *jsonOut != "" {
+			path := schemePath(*jsonOut, s, *all)
+			if err := res.Report().WriteFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "dsre-sim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote run report to %s\n", path)
+		}
+		if *traceOut != "" {
+			path := schemePath(*traceOut, s, *all)
+			if err := writeTrace(path, res); err != nil {
+				fmt.Fprintf(os.Stderr, "dsre-sim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote Chrome trace (%d events, %d spans) to %s — open in chrome://tracing\n",
+				len(res.Trace.Events), len(res.Trace.Spans), path)
+		}
+		if *samplesCSV != "" {
+			path := schemePath(*samplesCSV, s, *all)
+			if err := writeSamplesCSV(path, res); err != nil {
+				fmt.Fprintf(os.Stderr, "dsre-sim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %d sample windows to %s\n", len(res.Samples), path)
+		}
 	}
+}
+
+// schemePath inserts the scheme name before the extension when -all-schemes
+// would otherwise make every scheme overwrite one output file.
+func schemePath(path, scheme string, all bool) string {
+	if !all {
+		return path
+	}
+	ext := filepath.Ext(path)
+	safe := strings.ReplaceAll(scheme, "+", "-")
+	return strings.TrimSuffix(path, ext) + "." + safe + ext
+}
+
+func writeTrace(path string, res *repro.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, res.Trace, res.Samples); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSamplesCSV(path string, res *repro.Result) error {
+	s := telemetry.NewSampler(len(res.Samples) + 1)
+	for _, v := range res.Samples {
+		s.Sample(v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func report(r *repro.Result) {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 	disasm := flag.Bool("disasm", true, "print block disassembly")
 	dot := flag.Bool("dot", false, "emit Graphviz dataflow graphs instead of text")
 	trace := flag.Int("trace", 0, "print the first N committed block IDs")
+	jsonOut := flag.String("json", "", "write the dynamic profile as machine-readable JSON to this file")
 	flag.Parse()
 
 	if *check != "" {
@@ -112,6 +114,35 @@ func main() {
 
 	if *trace > 0 {
 		fmt.Printf("\nfirst %d committed blocks: %v\n", len(res.BlockTrace), res.BlockTrace)
+	}
+	if *jsonOut != "" {
+		profile := struct {
+			Schema      string  `json:"schema"`
+			Workload    string  `json:"workload"`
+			Blocks      int64   `json:"blocks"`
+			Insts       int64   `json:"insts"`
+			InstsBlock  float64 `json:"insts_per_block"`
+			Loads       int64   `json:"loads"`
+			Stores      int64   `json:"stores"`
+			OracleDeps  int     `json:"loads_with_in_window_deps"`
+			DepDistance []int64 `json:"dep_distance_hist"`
+		}{
+			Schema: "dsre-profile/v1", Workload: w.Name,
+			Blocks: res.Blocks, Insts: res.Insts,
+			InstsBlock: float64(res.Insts) / float64(res.Blocks),
+			Loads:      res.Loads, Stores: res.Stores,
+			OracleDeps: len(res.Oracle), DepDistance: res.DepDistance[:],
+		}
+		data, err := json.MarshalIndent(&profile, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dsre-trace:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dsre-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote profile to %s\n", *jsonOut)
 	}
 	if err := w.Check(&res.Regs, res.Mem); err != nil {
 		fmt.Fprintln(os.Stderr, "dsre-trace: reference check FAILED:", err)

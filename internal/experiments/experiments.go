@@ -42,6 +42,15 @@ func (o Opts) sizeFor(kernel string) int {
 // Kernels returns the benchmark suite in reporting order.
 func Kernels() []string { return repro.Workloads() }
 
+// IDs lists every experiment identifier in reporting order, for CLI
+// validation and artifact enumeration.
+func IDs() []string {
+	return []string{
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16",
+	}
+}
+
 // run executes one configuration, panicking on error: an experiment that
 // cannot run is a broken build, not a measurement.
 func run(cfg repro.Config) *repro.Result {

@@ -118,7 +118,8 @@ type blockInst struct {
 	writesCommitted int
 	storesCommitted int
 	numStores       int
-	predictedNext   int // what fetch predicted would follow (for stats)
+	predictedNext   int   // what fetch predicted would follow (for stats)
+	mapCycle        int64 // cycle the block was mapped, for residency spans
 }
 
 // outputsCommitted reports whether the block's architectural outputs are

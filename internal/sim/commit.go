@@ -21,6 +21,9 @@ func (mc *Machine) squashFrom(fromSeq int64, resumeID int) {
 		if mc.tracer != nil {
 			mc.tracer.Record(mc.cycle, trace.KindBlockSquash, b.seq, 0, 0)
 		}
+		if mc.spans != nil {
+			mc.spans.RecordSpan(trace.SpanBlock, b.seq, b.blockID, 1, b.mapCycle, mc.cycle)
+		}
 		mc.frameBusy[b.frame] = false
 		mc.frameGens[b.frame]++
 		mc.stats.SquashedBlocks++
@@ -66,6 +69,9 @@ func (mc *Machine) stepCommit() {
 
 	if mc.tracer != nil {
 		mc.tracer.Record(mc.cycle, trace.KindBlockCommit, b.seq, 0, 0)
+	}
+	if mc.spans != nil {
+		mc.spans.RecordSpan(trace.SpanBlock, b.seq, b.blockID, 0, b.mapCycle, mc.cycle)
 	}
 	mc.frameBusy[b.frame] = false
 	mc.frameGens[b.frame]++

@@ -137,6 +137,10 @@ func (mc *Machine) completeExec(j aluJob) {
 	} else if mc.tracer != nil {
 		mc.tracer.Record(mc.cycle, trace.KindExec, b.seq, j.idx, uint64(outTag))
 	}
+	if mc.spans != nil {
+		lat := int64(mc.cfg.opLatency(in.Op))
+		mc.spans.RecordSpan(trace.SpanExec, b.seq, j.idx, uint64(outTag), mc.cycle-lat, mc.cycle)
+	}
 
 	committed := st.inputsCommitted(in)
 	src := mc.tiles[mc.instTile(b.blockID, j.idx)].node

@@ -5,6 +5,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/lsq"
 	"repro/internal/predictor"
+	"repro/internal/trace"
 )
 
 // codeBase is the synthetic address where block code lives for I-cache
@@ -49,6 +50,9 @@ func (mc *Machine) fetchTargetNow() (seq int64, blockID int, ok bool) {
 func (mc *Machine) stepFetch() {
 	if mc.fetch.active {
 		if mc.cycle >= mc.fetch.readyAt {
+			if mc.spans != nil {
+				mc.spans.RecordSpan(trace.SpanFetch, mc.fetch.seq, mc.fetch.blockID, 0, mc.fetch.startedAt, mc.cycle)
+			}
 			mc.mapBlock(mc.fetch.seq, mc.fetch.blockID)
 			mc.fetch.active = false
 		}
@@ -77,7 +81,7 @@ func (mc *Machine) stepFetch() {
 		return
 	}
 	lat := mc.hier.InstAccess(codeBase+uint64(blockID)*512) + mc.cfg.FetchCycles
-	mc.fetch = pendingFetch{active: true, seq: seq, blockID: blockID, readyAt: mc.cycle + int64(lat)}
+	mc.fetch = pendingFetch{active: true, seq: seq, blockID: blockID, readyAt: mc.cycle + int64(lat), startedAt: mc.cycle}
 	mc.stats.FetchedBlocks++
 }
 
@@ -92,14 +96,15 @@ func (mc *Machine) mapBlock(seq int64, blockID int) {
 	mc.frameBusy[frame] = true
 
 	b := &blockInst{
-		seq:     seq,
-		blockID: blockID,
-		bdef:    bdef,
-		frame:   frame,
-		gen:     mc.frameGens[frame],
-		insts:   make([]instState, len(bdef.Insts)),
-		writes:  make([]writeState, len(bdef.Writes)),
-		regRead: make(map[uint8]int, len(bdef.Reads)),
+		seq:      seq,
+		blockID:  blockID,
+		bdef:     bdef,
+		frame:    frame,
+		gen:      mc.frameGens[frame],
+		insts:    make([]instState, len(bdef.Insts)),
+		writes:   make([]writeState, len(bdef.Writes)),
+		regRead:  make(map[uint8]int, len(bdef.Reads)),
+		mapCycle: mc.cycle,
 	}
 	mc.window = append(mc.window, b)
 	mc.nextSeq = seq + 1

@@ -40,10 +40,11 @@ type tileState struct {
 
 // pendingFetch is the block fetch in progress.
 type pendingFetch struct {
-	active  bool
-	seq     int64
-	blockID int
-	readyAt int64
+	active    bool
+	seq       int64
+	blockID   int
+	readyAt   int64
+	startedAt int64 // cycle the fetch issued, for the fetch stage span
 }
 
 type injection struct {
@@ -91,7 +92,16 @@ type Machine struct {
 
 	stats  Stats
 	tracer Tracer
+	spans  SpanRecorder
 	err    error // fatal protocol error detected during a handler
+
+	// Telemetry sampling (see sampler.go); sampleSink == nil means off.
+	sampleSink  SampleSink
+	sampleEvery int64
+	sampleAt    int64
+	sampleBase  sampleOrigin
+	lastSample  Sample
+	haveSample  bool
 }
 
 // Tracer receives execution events when attached (see internal/trace).
@@ -99,8 +109,18 @@ type Tracer interface {
 	Record(cycle int64, kind trace.Kind, seq int64, idx int, tag uint64)
 }
 
-// SetTracer attaches an event tracer; nil detaches.
-func (mc *Machine) SetTracer(t Tracer) { mc.tracer = t }
+// SpanRecorder is optionally implemented by tracers that also want
+// per-stage duration spans (trace.Collector implements it).
+type SpanRecorder interface {
+	RecordSpan(kind trace.SpanKind, seq int64, idx int, tag uint64, start, end int64)
+}
+
+// SetTracer attaches an event tracer; nil detaches.  A tracer that also
+// implements SpanRecorder receives fetch/block/exec stage spans.
+func (mc *Machine) SetTracer(t Tracer) {
+	mc.tracer = t
+	mc.spans, _ = t.(SpanRecorder)
+}
 
 // New builds a machine for one run of prog from the given initial state.
 // The oracle table (from an emulator pre-pass) is required only for

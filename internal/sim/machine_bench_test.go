@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -33,6 +34,42 @@ func BenchmarkMachine(b *testing.B) {
 			}
 			b.ReportMetric(float64(cycles), "sim-cycles/run")
 			b.ReportMetric(float64(er.Insts), "sim-insts/run")
+		})
+	}
+}
+
+// discardSink measures pure sampling overhead without collection cost.
+type discardSink struct{ n int }
+
+func (d *discardSink) Sample(Sample) { d.n++ }
+
+// BenchmarkMachineSampler measures telemetry sampling overhead against the
+// plain machine: "off" is the disabled hot path (one nil check per cycle),
+// the numeric variants attach a sink at that window size.  DESIGN.md
+// records the measured regression budget (<2%).
+func BenchmarkMachineSampler(b *testing.B) {
+	w := workload.MustBuild("histogram", workload.Params{Size: 1024})
+	for _, every := range []int64{0, 1000, 100, 10} {
+		name := "off"
+		if every > 0 {
+			name = fmt.Sprintf("every%d", every)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig()
+				cfg.Policy = core.IssueAggressive
+				cfg.Recovery = core.RecoverDSRE
+				mc, err := New(cfg, w.Program, &w.Regs, w.Mem, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if every > 0 {
+					mc.SetSampler(every, &discardSink{})
+				}
+				if _, err := mc.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -34,6 +34,11 @@ func (mc *Machine) Run() (*Result, error) {
 		}
 		mc.step()
 	}
+	// Flush the final (partial) telemetry window so short runs still
+	// produce at least one sample.
+	if mc.sampleSink != nil && mc.cycle > mc.sampleBase.cycle {
+		mc.takeSample()
+	}
 	mc.snapshotStats()
 	return &Result{Regs: mc.arch, Mem: mc.mem, Blocks: mc.committed, Stats: mc.stats}, nil
 }
@@ -74,6 +79,9 @@ func (mc *Machine) step() {
 	mc.stepTiles()
 	mc.stepFetch()
 	mc.stepCommit()
+	if mc.sampleSink != nil && mc.cycle >= mc.sampleAt {
+		mc.takeSample()
+	}
 	mc.cycle++
 }
 
@@ -105,6 +113,13 @@ func (mc *Machine) debugDump() string {
 	}
 	fmt.Fprintf(&b, "fetch active=%v seq=%d id=%d  nextSeq=%d resume=%d net pending=%d\n",
 		mc.fetch.active, mc.fetch.seq, mc.fetch.blockID, mc.nextSeq, mc.resumeID, mc.net.Pending())
+	if mc.haveSample {
+		s := mc.lastSample
+		fmt.Fprintf(&b, "telemetry last window: cycle=%d win=%d ipc=%.3f committed=%d inflight=%d lsq=%d noc=%d waves=%d reexecs=%d flushes=%d l1d=%.3f l2=%.3f\n",
+			s.Cycle, s.Window, s.IPC, s.CommittedBlocks, s.InFlightBlocks,
+			s.LSQOccupancy, s.NoCPending, s.Waves, s.Reexecs, s.Flushes,
+			s.L1DMissRate, s.L2MissRate)
+	}
 	return b.String()
 }
 

@@ -300,3 +300,62 @@ func TestIndirectBranchDispatch(t *testing.T) {
 		}
 	}
 }
+
+// collectSink gathers samples for the in-package sampler tests.
+type collectSink struct{ samples []Sample }
+
+func (c *collectSink) Sample(s Sample) { c.samples = append(c.samples, s) }
+
+func TestSamplerWindowsAndDebugDump(t *testing.T) {
+	w := workload.MustBuild("vecsum", workload.Params{Size: 128})
+	cfg := DefaultConfig()
+	cfg.Policy = core.IssueAggressive
+	mc, err := New(cfg, w.Program, &w.Regs, w.Mem, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectSink{}
+	mc.SetSampler(100, sink)
+	res, err := mc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	var blocks int64
+	for _, s := range sink.samples {
+		blocks += s.CommittedBlocks
+	}
+	if blocks != res.Blocks {
+		t.Errorf("windowed commits sum %d, run committed %d", blocks, res.Blocks)
+	}
+	// Deadlock diagnostics must carry the occupancy picture of the last
+	// window so "no commit for N cycles" errors show the collapse.
+	dump := mc.debugDump()
+	if !strings.Contains(dump, "telemetry last window:") {
+		t.Errorf("debugDump missing telemetry window:\n%s", dump)
+	}
+}
+
+func TestSamplerDetached(t *testing.T) {
+	w := workload.MustBuild("vecsum", workload.Params{Size: 64})
+	cfg := DefaultConfig()
+	cfg.Policy = core.IssueAggressive
+	mc, err := New(cfg, w.Program, &w.Regs, w.Mem, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectSink{}
+	mc.SetSampler(100, sink)
+	mc.SetSampler(0, nil) // detach again
+	if _, err := mc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.samples) != 0 {
+		t.Errorf("detached sampler still received %d samples", len(sink.samples))
+	}
+	if strings.Contains(mc.debugDump(), "telemetry last window:") {
+		t.Error("debugDump shows a window with sampling off")
+	}
+}

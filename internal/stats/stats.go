@@ -3,8 +3,10 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -70,20 +72,108 @@ func (h *Hist) Percentile(p float64) int64 {
 	return h.Max
 }
 
-// String renders the non-empty buckets compactly.
+// Merge accumulates another histogram into h (bucket-wise addition).  The
+// other histogram is unchanged; merging an empty or nil histogram is a no-op.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.N == 0 {
+		return
+	}
+	for i, c := range other.Buckets {
+		h.Buckets[i] += c
+	}
+	h.N += other.N
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+}
+
+// bucketBounds returns the inclusive value range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return 1 << uint(i), (1 << uint(i+1)) - 1
+}
+
+// String renders a summary line followed by one bar per non-empty bucket.
 func (h *Hist) String() string {
-	var parts []string
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%.1f max=%d p50=%d p90=%d p99=%d",
+		h.N, h.Mean(), h.Max, h.Percentile(50), h.Percentile(90), h.Percentile(99))
+	peak := int64(0)
+	for _, c := range h.Buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	const barWidth = 40
 	for i, c := range h.Buckets {
 		if c == 0 {
 			continue
 		}
-		lo := int64(0)
-		if i > 0 {
-			lo = 1 << uint(i)
-		}
-		parts = append(parts, fmt.Sprintf("[%d..]:%d", lo, c))
+		lo, hi := bucketBounds(i)
+		bar := 1 + int((c-1)*int64(barWidth-1)/peak)
+		fmt.Fprintf(&sb, "\n  [%8d..%-8d] %10d %s", lo, hi, c, strings.Repeat("#", bar))
 	}
-	return fmt.Sprintf("n=%d mean=%.1f max=%d %s", h.N, h.Mean(), h.Max, strings.Join(parts, " "))
+	return sb.String()
+}
+
+// histJSON is the wire form of Hist: raw moments plus derived percentiles
+// (emitted for consumers, ignored on decode) and the non-empty buckets by
+// their lower edge.
+type histJSON struct {
+	N       int64        `json:"n"`
+	Sum     int64        `json:"sum"`
+	Max     int64        `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50"`
+	P90     int64        `json:"p90"`
+	P99     int64        `json:"p99"`
+	Buckets []histBucket `json:"buckets,omitempty"`
+}
+
+type histBucket struct {
+	Lo    int64 `json:"lo"`
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON emits the histogram with derived percentiles and sparse
+// buckets, keyed by each bucket's lower edge.
+func (h *Hist) MarshalJSON() ([]byte, error) {
+	out := histJSON{
+		N: h.N, Sum: h.Sum, Max: h.Max, Mean: h.Mean(),
+		P50: h.Percentile(50), P90: h.Percentile(90), P99: h.Percentile(99),
+	}
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, _ := bucketBounds(i)
+		out.Buckets = append(out.Buckets, histBucket{Lo: lo, Count: c})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores the raw histogram state; derived fields in the
+// input are ignored and recomputed on demand.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var in histJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*h = Hist{N: in.N, Sum: in.Sum, Max: in.Max}
+	for _, b := range in.Buckets {
+		i := 0
+		if b.Lo > 1 {
+			i = bits.Len64(uint64(b.Lo)) - 1
+		}
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
+		h.Buckets[i] += b.Count
+	}
+	return nil
 }
 
 // Table accumulates rows and renders them with aligned columns, in the
@@ -151,6 +241,20 @@ func (t *Table) String() string {
 		line(r)
 	}
 	return sb.String()
+}
+
+// MarshalJSON emits the table as {title, header, rows} so benchmark
+// artifacts carry the same data machine-readably as the rendered text.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.header, rows})
 }
 
 // GeoMean returns the geometric mean of positive values; zero or negative

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -121,5 +122,126 @@ func TestHistString(t *testing.T) {
 	h.Add(5)
 	if s := h.String(); !strings.Contains(s, "n=1") {
 		t.Errorf("String = %q", s)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Add(0)
+	a.Add(3)
+	b.Add(100)
+	b.Add(1 << 40) // lands in the overflow (last) bucket
+
+	var m Hist
+	m.Merge(&a)
+	m.Merge(&b)
+	if m.N != 4 || m.Sum != a.Sum+b.Sum || m.Max != 1<<40 {
+		t.Fatalf("merged = n=%d sum=%d max=%d", m.N, m.Sum, m.Max)
+	}
+	for i := range m.Buckets {
+		if m.Buckets[i] != a.Buckets[i]+b.Buckets[i] {
+			t.Errorf("bucket %d: %d != %d+%d", i, m.Buckets[i], a.Buckets[i], b.Buckets[i])
+		}
+	}
+	if m.Buckets[len(m.Buckets)-1] != 1 {
+		t.Error("overflow bucket not preserved by Merge")
+	}
+
+	// Merging empties and nil is a no-op.
+	before := m
+	m.Merge(&Hist{})
+	m.Merge(nil)
+	if m != before {
+		t.Error("empty/nil merge changed the histogram")
+	}
+	var empty Hist
+	empty.Merge(&Hist{})
+	if empty.N != 0 {
+		t.Error("empty+empty merge not empty")
+	}
+}
+
+func TestHistStringBars(t *testing.T) {
+	var h Hist
+	for i := 0; i < 8; i++ {
+		h.Add(4)
+	}
+	h.Add(0)
+	s := h.String()
+	if !strings.Contains(s, "n=9") || !strings.Contains(s, "p50=") {
+		t.Errorf("summary line missing: %q", s)
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want summary + 2 bucket rows, got %d lines:\n%s", len(lines), s)
+	}
+	// The fuller bucket must render the longer bar.
+	bar := func(line string) int { return strings.Count(line, "#") }
+	if bar(lines[1]) >= bar(lines[2]) {
+		t.Errorf("bars not proportional:\n%s", s)
+	}
+	var empty Hist
+	if es := empty.String(); strings.Contains(es, "#") || !strings.Contains(es, "n=0") {
+		t.Errorf("empty hist rendering: %q", es)
+	}
+}
+
+func TestHistJSONRoundTrip(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 5, 5, 300, 1 << 50} {
+		h.Add(v)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived percentiles must appear on the wire.
+	for _, key := range []string{`"p50"`, `"p90"`, `"p99"`, `"mean"`, `"buckets"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("wire form missing %s: %s", key, data)
+		}
+	}
+	var back Hist
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Errorf("round trip: %+v != %+v", back, h)
+	}
+
+	// Empty histogram round-trips too.
+	var empty, emptyBack Hist
+	data, err = json.Marshal(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &emptyBack); err != nil {
+		t.Fatal(err)
+	}
+	if emptyBack != empty {
+		t.Errorf("empty round trip: %+v", emptyBack)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("demo", "kernel", "ipc")
+	tb.Row("vecsum", 1.25)
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Title != "demo" || len(out.Header) != 2 || len(out.Rows) != 1 || out.Rows[0][1] != "1.250" {
+		t.Errorf("table JSON = %s", data)
+	}
+	if data, err = json.Marshal(NewTable("empty", "a")); err != nil || !strings.Contains(string(data), `"rows":[]`) {
+		t.Errorf("empty table rows must be [], got %s (err %v)", data, err)
 	}
 }

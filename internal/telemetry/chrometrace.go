@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The exporter maps simulator activity onto the Chrome trace-event
+// (catapult) JSON format, loadable in chrome://tracing or ui.perfetto.dev.
+// One simulated cycle is rendered as one microsecond.  Lanes:
+//
+//	pid 0 "pipeline"  — fetch spans (tid 0) and block residency spans,
+//	                    one lane per frame slot (tid 1..frameLanes)
+//	pid 1 "waves"     — derived recovery-wave lifetime spans plus
+//	                    correction/re-execution instants
+//	pid 2 "tiles"     — individual ALU execution spans
+//	pid 3 "counters"  — sampler time series as counter tracks
+const (
+	pidPipeline = 0
+	pidWaves    = 1
+	pidTiles    = 2
+	pidCounters = 3
+
+	frameLanes = 8  // block-residency lanes (seq mod frameLanes)
+	waveLanes  = 16 // wave lanes (ordinal mod waveLanes)
+	tileLanes  = 32 // exec lanes (instruction index mod tileLanes)
+)
+
+// chromeEvent is one trace-event object.  Fields follow the catapult
+// trace-event format spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+func meta(pid int, name string) chromeEvent {
+	return chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}}
+}
+
+// WriteChromeTrace converts a trace collection (events plus stage spans)
+// and an optional sample series into catapult JSON.  Either input may be
+// nil.  Output is deterministic for a given input: events are emitted in
+// recording order and waves in first-correction order, so golden-file
+// tests are stable.
+func WriteChromeTrace(w io.Writer, c *trace.Collector, samples []sim.Sample) error {
+	out := chromeTrace{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"source": "dsre", "time_unit": "1 cycle = 1us"},
+	}
+	add := func(e chromeEvent) { out.TraceEvents = append(out.TraceEvents, e) }
+
+	add(meta(pidPipeline, "pipeline"))
+	add(meta(pidWaves, "waves"))
+	add(meta(pidTiles, "tiles"))
+	add(meta(pidCounters, "counters"))
+
+	// Wave lifetimes are derived from the event stream: a wave starts at
+	// its correction injection and ends at the last re-execution carrying
+	// its tag.
+	type waveSpan struct {
+		tag        uint64
+		seq        int64
+		start, end int64
+		reexecs    int
+	}
+	var waves []*waveSpan
+	waveByTag := map[uint64]*waveSpan{}
+
+	if c != nil {
+		for _, e := range c.Events {
+			switch e.Kind {
+			case trace.KindCorrection:
+				if _, ok := waveByTag[e.Tag]; !ok {
+					ws := &waveSpan{tag: e.Tag, seq: e.Seq, start: e.Cycle, end: e.Cycle}
+					waveByTag[e.Tag] = ws
+					waves = append(waves, ws)
+				}
+				add(chromeEvent{
+					Name: fmt.Sprintf("correction b%d.i%d", e.Seq, e.Idx), Cat: "wave",
+					Ph: "i", Ts: e.Cycle, Pid: pidWaves, Tid: int(e.Tag % waveLanes), S: "p",
+				})
+			case trace.KindReexec:
+				if ws, ok := waveByTag[e.Tag]; ok {
+					ws.reexecs++
+					if e.Cycle > ws.end {
+						ws.end = e.Cycle
+					}
+				}
+			case trace.KindBlockCommit:
+				add(chromeEvent{
+					Name: fmt.Sprintf("commit b%d", e.Seq), Cat: "commit",
+					Ph: "i", Ts: e.Cycle, Pid: pidPipeline, Tid: 1 + int(e.Seq%frameLanes), S: "t",
+				})
+			case trace.KindBlockSquash:
+				add(chromeEvent{
+					Name: fmt.Sprintf("squash b%d", e.Seq), Cat: "squash",
+					Ph: "i", Ts: e.Cycle, Pid: pidPipeline, Tid: 1 + int(e.Seq%frameLanes), S: "t",
+				})
+			}
+		}
+
+		for _, sp := range c.Spans {
+			switch sp.Kind {
+			case trace.SpanFetch:
+				add(chromeEvent{
+					Name: fmt.Sprintf("fetch b%d (block %d)", sp.Seq, sp.Idx), Cat: "fetch",
+					Ph: "X", Ts: sp.Start, Dur: dur(sp.Start, sp.End), Pid: pidPipeline, Tid: 0,
+					Args: map[string]any{"seq": sp.Seq, "block": sp.Idx},
+				})
+			case trace.SpanBlock:
+				name := fmt.Sprintf("b%d (block %d)", sp.Seq, sp.Idx)
+				cat := "block"
+				if sp.Tag == 1 {
+					name += " SQUASHED"
+					cat = "block-squashed"
+				}
+				add(chromeEvent{
+					Name: name, Cat: cat,
+					Ph: "X", Ts: sp.Start, Dur: dur(sp.Start, sp.End),
+					Pid: pidPipeline, Tid: 1 + int(sp.Seq%frameLanes),
+					Args: map[string]any{"seq": sp.Seq, "block": sp.Idx, "squashed": sp.Tag == 1},
+				})
+			case trace.SpanExec:
+				add(chromeEvent{
+					Name: fmt.Sprintf("b%d.i%d", sp.Seq, sp.Idx), Cat: "exec",
+					Ph: "X", Ts: sp.Start, Dur: dur(sp.Start, sp.End),
+					Pid: pidTiles, Tid: sp.Idx % tileLanes,
+					Args: map[string]any{"tag": sp.Tag},
+				})
+			case trace.SpanWave:
+				// Pre-derived wave spans (synthetic collections).
+				add(waveEvent(sp.Tag, sp.Seq, sp.Start, sp.End, int(sp.Idx), len(waves)))
+			}
+		}
+	}
+
+	for i, ws := range waves {
+		add(waveEvent(ws.tag, ws.seq, ws.start, ws.end, ws.reexecs, i))
+	}
+
+	for _, s := range samples {
+		add(chromeEvent{Name: "IPC", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
+			Args: map[string]any{"ipc": s.IPC}})
+		add(chromeEvent{Name: "occupancy", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
+			Args: map[string]any{
+				"blocks": s.InFlightBlocks, "lsq": s.LSQOccupancy, "noc": s.NoCPending,
+			}})
+		add(chromeEvent{Name: "speculation", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
+			Args: map[string]any{"waves": s.Waves, "reexecs": s.Reexecs, "flushes": s.Flushes}})
+		add(chromeEvent{Name: "miss-rate", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
+			Args: map[string]any{"l1d": s.L1DMissRate, "l2": s.L2MissRate}})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// waveEvent renders one recovery-wave lifetime span.
+func waveEvent(tag uint64, seq, start, end int64, reexecs, ordinal int) chromeEvent {
+	return chromeEvent{
+		Name: fmt.Sprintf("wave t%d (b%d)", tag, seq), Cat: "wave",
+		Ph: "X", Ts: start, Dur: dur(start, end),
+		Pid: pidWaves, Tid: ordinal % waveLanes,
+		Args: map[string]any{"tag": tag, "origin_block": seq, "reexecs": reexecs},
+	}
+}
+
+// dur returns a strictly positive duration so zero-length stages remain
+// visible in the viewer.
+func dur(start, end int64) int64 {
+	if end <= start {
+		return 1
+	}
+	return end - start
+}

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// ReportSchema identifies the run-report wire format.  Bump on
+// incompatible changes so CI consumers can reject reports they don't
+// understand.
+const ReportSchema = "dsre-report/v1"
+
+// Report is the machine-readable form of one verified simulator run: the
+// headline measurements, the full simulator statistics (histograms carry
+// their percentiles — see stats.Hist.MarshalJSON), and the sampled
+// time series when sampling was enabled.
+type Report struct {
+	Schema   string `json:"schema"`
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+
+	Cycles int64   `json:"cycles"`
+	Insts  int64   `json:"insts"`
+	IPC    float64 `json:"ipc"`
+	Blocks int64   `json:"blocks"`
+
+	Violations  int64 `json:"violations"`
+	Flushes     int64 `json:"flushes"`
+	Corrections int64 `json:"corrections"`
+	Reexecs     int64 `json:"reexecs"`
+	Waves       int64 `json:"waves"`
+
+	Stats   sim.Stats    `json:"stats"`
+	Samples []sim.Sample `json:"samples,omitempty"`
+}
+
+// Marshal renders the report as indented, stable JSON.
+func (r *Report) Marshal() ([]byte, error) {
+	if r.Schema == "" {
+		r.Schema = ReportSchema
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the report to path as JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ParseReport decodes and schema-checks a report.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("telemetry: parse report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("telemetry: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// ReadReport loads a report from a file written by WriteFile.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseReport(data)
+}

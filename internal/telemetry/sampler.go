@@ -1,0 +1,116 @@
+// Package telemetry is the simulator's observability layer: a ring-buffered
+// per-cycle time-series sampler, a Chrome trace-event (catapult) exporter
+// for trace collections, and machine-readable run reports.  The paper's
+// claims are all dynamic behaviours — wave sizes, LSQ occupancy,
+// re-execution bursts — so this package exists to make *when* and *why* a
+// run diverges visible to humans (chrome://tracing, CSV) and to CI (JSON).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// DefaultSamplerCap bounds the ring buffer when NewSampler is given a
+// non-positive capacity: at the default -sample-every of 1000 cycles this
+// covers 65M cycles before the oldest windows are overwritten.
+const DefaultSamplerCap = 1 << 16
+
+// Sampler is a ring buffer of telemetry samples implementing sim.SampleSink.
+// When the buffer fills, the oldest windows are overwritten (time-series
+// tooling wants the most recent history; Overwritten reports the loss).
+type Sampler struct {
+	buf   []sim.Sample
+	start int   // index of the oldest sample
+	n     int   // samples currently held
+	total int64 // samples ever recorded
+}
+
+// NewSampler returns a sampler holding up to cap windows (<=0 means
+// DefaultSamplerCap).
+func NewSampler(cap int) *Sampler {
+	if cap <= 0 {
+		cap = DefaultSamplerCap
+	}
+	return &Sampler{buf: make([]sim.Sample, 0, cap)}
+}
+
+// Sample records one window, overwriting the oldest when full.
+func (s *Sampler) Sample(v sim.Sample) {
+	s.total++
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, v)
+		s.n++
+		return
+	}
+	s.buf[s.start] = v
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+// Len returns the number of samples held.
+func (s *Sampler) Len() int { return s.n }
+
+// Overwritten returns how many samples were lost to ring wrap-around.
+func (s *Sampler) Overwritten() int64 { return s.total - int64(s.n) }
+
+// Last returns the most recent sample.
+func (s *Sampler) Last() (sim.Sample, bool) {
+	if s.n == 0 {
+		return sim.Sample{}, false
+	}
+	return s.buf[(s.start+s.n-1)%len(s.buf)], true
+}
+
+// Samples returns the held windows in chronological order.
+func (s *Sampler) Samples() []sim.Sample {
+	out := make([]sim.Sample, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(s.start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// Reset discards all samples, keeping the allocation.
+func (s *Sampler) Reset() {
+	s.buf = s.buf[:0]
+	s.start, s.n, s.total = 0, 0, 0
+}
+
+// csvHeader lists the CSV columns, matching the Sample JSON field names.
+var csvHeader = []string{
+	"cycle", "window", "ipc", "committed_blocks", "in_flight_blocks",
+	"window_insts", "lsq_occupancy", "noc_pending", "waves", "reexecs",
+	"flushes", "l1d_miss_rate", "l2_miss_rate",
+}
+
+// WriteCSV emits the held windows as CSV with a header row.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	for i, h := range csvHeader {
+		sep := ","
+		if i == len(csvHeader)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", h, sep); err != nil {
+			return err
+		}
+	}
+	for _, v := range s.Samples() {
+		_, err := fmt.Fprintf(w, "%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f\n",
+			v.Cycle, v.Window, v.IPC, v.CommittedBlocks, v.InFlightBlocks,
+			v.WindowInsts, v.LSQOccupancy, v.NoCPending, v.Waves, v.Reexecs,
+			v.Flushes, v.L1DMissRate, v.L2MissRate)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the held windows as a JSON array.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s.Samples())
+}

@@ -1,0 +1,278 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func sample(cycle int64) sim.Sample {
+	return sim.Sample{
+		Cycle: cycle, Window: 100, IPC: float64(cycle) / 1000,
+		CommittedBlocks: 2, InFlightBlocks: 4, WindowInsts: 512,
+		LSQOccupancy: 48, NoCPending: 7, Waves: 1, Reexecs: 3,
+		L1DMissRate: 0.125, L2MissRate: 0.5,
+	}
+}
+
+func TestSamplerRing(t *testing.T) {
+	s := telemetry.NewSampler(4)
+	for c := int64(1); c <= 10; c++ {
+		s.Sample(sample(c * 100))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Overwritten() != 6 {
+		t.Errorf("Overwritten = %d, want 6", s.Overwritten())
+	}
+	got := s.Samples()
+	for i, want := range []int64{700, 800, 900, 1000} {
+		if got[i].Cycle != want {
+			t.Errorf("sample %d cycle = %d, want %d", i, got[i].Cycle, want)
+		}
+	}
+	last, ok := s.Last()
+	if !ok || last.Cycle != 1000 {
+		t.Errorf("Last = %+v ok=%v, want cycle 1000", last, ok)
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Overwritten() != 0 {
+		t.Errorf("after Reset: Len=%d Overwritten=%d", s.Len(), s.Overwritten())
+	}
+	if _, ok := s.Last(); ok {
+		t.Error("Last ok after Reset")
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	s := telemetry.NewSampler(0)
+	s.Sample(sample(100))
+	s.Sample(sample(200))
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	cols := strings.Split(lines[0], ",")
+	for _, row := range lines[1:] {
+		if got := len(strings.Split(row, ",")); got != len(cols) {
+			t.Errorf("row has %d columns, header has %d", got, len(cols))
+		}
+	}
+	if !strings.HasPrefix(lines[1], "100,100,0.100000") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+// syntheticCollector builds a small, fully deterministic trace collection
+// exercising every event and span kind.
+func syntheticCollector() *trace.Collector {
+	c := &trace.Collector{}
+	c.Record(10, trace.KindExec, 0, 3, 0)
+	c.Record(12, trace.KindCorrection, 0, 5, 7)
+	c.Record(14, trace.KindReexec, 0, 6, 7)
+	c.Record(18, trace.KindReexec, 1, 2, 7)
+	c.Record(25, trace.KindBlockCommit, 0, 0, 0)
+	c.Record(30, trace.KindBlockSquash, 2, 0, 0)
+	c.RecordSpan(trace.SpanFetch, 0, 4, 0, 0, 9)
+	c.RecordSpan(trace.SpanBlock, 0, 4, 0, 9, 25)
+	c.RecordSpan(trace.SpanBlock, 2, 6, 1, 20, 30)
+	c.RecordSpan(trace.SpanExec, 0, 3, 0, 9, 10)
+	return c
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := telemetry.WriteChromeTrace(&buf, syntheticCollector(), []sim.Sample{sample(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrometrace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace diverged from golden file (re-run with -update if intended)\ngot:  %s\nwant: %s",
+			buf.Bytes(), want)
+	}
+	// The golden bytes must themselves be valid catapult JSON.
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("golden output is not JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+}
+
+func TestChromeTraceFromRun(t *testing.T) {
+	res, err := repro.Run(repro.Config{
+		Workload: "vecsum", Scheme: "dsre", Size: 256,
+		Trace: true, SampleEvery: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Spans) == 0 {
+		t.Fatal("run recorded no stage spans")
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, res.Trace, res.Samples); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exported trace is not JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, e := range out.TraceEvents {
+		for _, k := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, e)
+			}
+		}
+		ph := e["ph"].(string)
+		phases[ph]++
+		if ph != "M" {
+			if _, ok := e["ts"]; !ok {
+				t.Fatalf("non-metadata event missing ts: %v", e)
+			}
+		}
+	}
+	for _, ph := range []string{"X", "C", "M"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q-phase events in exported trace (phases: %v)", ph, phases)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	res, err := repro.Run(repro.Config{
+		Workload: "histogram", Scheme: "dsre", Size: 512, SampleEvery: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	data, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := telemetry.ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Errorf("report did not round-trip:\n before %+v\n after  %+v", rep, back)
+	}
+	if back.Stats.WaveSizeHist.N != res.Sim.WaveSizeHist.N ||
+		back.Stats.WaveSizeHist.Sum != res.Sim.WaveSizeHist.Sum {
+		t.Errorf("wave histogram lost in round-trip: %+v vs %+v",
+			back.Stats.WaveSizeHist, res.Sim.WaveSizeHist)
+	}
+}
+
+// TestReportMatchesRunCounters verifies that the JSON report dsre-sim's
+// -json flag writes agrees with the counters the CLI prints (both come
+// from the same Result).
+func TestReportMatchesRunCounters(t *testing.T) {
+	res, err := repro.Run(repro.Config{
+		Workload: "histogram", Scheme: "dsre", Size: 512, SampleEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := res.Report().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := telemetry.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name      string
+		got, want int64
+	}{
+		{"cycles", rep.Cycles, res.Cycles},
+		{"insts", rep.Insts, res.Insts},
+		{"blocks", rep.Blocks, res.Blocks},
+		{"violations", rep.Violations, res.Violations},
+		{"flushes", rep.Flushes, res.Flushes},
+		{"corrections", rep.Corrections, res.Corrections},
+		{"reexecs", rep.Reexecs, res.Reexecs},
+		{"waves", rep.Waves, res.Waves},
+		{"stats.cycles", rep.Stats.Cycles, res.Sim.Cycles},
+		{"stats.executed", rep.Stats.Executed, res.Sim.Executed},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s: report %d, run %d", c.name, c.got, c.want)
+		}
+	}
+	if rep.IPC != res.IPC {
+		t.Errorf("ipc: report %v, run %v", rep.IPC, res.IPC)
+	}
+	if len(rep.Samples) == 0 {
+		t.Error("report carried no telemetry samples")
+	}
+}
+
+func TestRunSamplesWindows(t *testing.T) {
+	res, err := repro.Run(repro.Config{
+		Workload: "vecsum", Scheme: "dsre", Size: 512, SampleEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no sample windows")
+	}
+	var committed, reexecs int64
+	prev := int64(0)
+	for i, s := range res.Samples {
+		if s.Cycle <= prev {
+			t.Fatalf("sample %d cycle %d not increasing (prev %d)", i, s.Cycle, prev)
+		}
+		if s.Window <= 0 {
+			t.Fatalf("sample %d window %d", i, s.Window)
+		}
+		prev = s.Cycle
+		committed += s.CommittedBlocks
+		reexecs += s.Reexecs
+	}
+	// Windowed deltas must sum back to the run totals (the final partial
+	// window flush guarantees full coverage).
+	if committed != res.Blocks {
+		t.Errorf("sum of windowed commits = %d, run committed %d", committed, res.Blocks)
+	}
+	if reexecs != res.Reexecs {
+		t.Errorf("sum of windowed reexecs = %d, run total %d", reexecs, res.Reexecs)
+	}
+}

@@ -48,29 +48,92 @@ type Event struct {
 	Tag   uint64
 }
 
+// SpanKind classifies a duration span recorded alongside point events.
+type SpanKind uint8
+
+// Span kinds: the pipeline stages a block (or one execution) moves through.
+const (
+	SpanFetch SpanKind = iota // block fetch+map pipeline: fetch issue → mapped
+	SpanBlock                 // block residency: mapped → committed or squashed
+	SpanExec                  // one ALU execution: issue → completion
+	SpanWave                  // recovery-wave lifetime (derived by exporters)
+)
+
+// String names the span kind.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanFetch:
+		return "fetch"
+	case SpanBlock:
+		return "block"
+	case SpanExec:
+		return "exec"
+	case SpanWave:
+		return "wave"
+	}
+	return "?"
+}
+
+// Span is one recorded duration: a pipeline stage with start and end cycles.
+// For SpanBlock, Tag 1 marks a squashed (rather than committed) block and
+// Idx holds the static block ID; for SpanExec, Idx is the instruction index
+// and Tag the wave tag of the execution's output.
+type Span struct {
+	Kind       SpanKind
+	Seq        int64
+	Idx        int
+	Tag        uint64
+	Start, End int64
+}
+
 // Collector implements the simulator's tracer hook, keeping up to Cap
-// events (zero means DefaultCap).
+// events and Cap spans (zero means DefaultCap).
 type Collector struct {
 	Cap    int
 	Events []Event
-	// Dropped counts events beyond Cap.
-	Dropped int64
+	Spans  []Span
+	// Dropped and SpansDropped count records beyond Cap.
+	Dropped      int64
+	SpansDropped int64
 }
 
 // DefaultCap bounds collection when Cap is zero.
 const DefaultCap = 1 << 20
 
+// limit returns the effective capacity.
+func (c *Collector) limit() int {
+	if c.Cap == 0 {
+		return DefaultCap
+	}
+	return c.Cap
+}
+
 // Record appends an event, honouring the cap.
 func (c *Collector) Record(cycle int64, kind Kind, seq int64, idx int, tag uint64) {
-	cap := c.Cap
-	if cap == 0 {
-		cap = DefaultCap
-	}
-	if len(c.Events) >= cap {
+	if len(c.Events) >= c.limit() {
 		c.Dropped++
 		return
 	}
 	c.Events = append(c.Events, Event{Cycle: cycle, Kind: kind, Seq: seq, Idx: idx, Tag: tag})
+}
+
+// RecordSpan appends a duration span, honouring the cap.
+func (c *Collector) RecordSpan(kind SpanKind, seq int64, idx int, tag uint64, start, end int64) {
+	if len(c.Spans) >= c.limit() {
+		c.SpansDropped++
+		return
+	}
+	c.Spans = append(c.Spans, Span{Kind: kind, Seq: seq, Idx: idx, Tag: tag, Start: start, End: end})
+}
+
+// Reset discards all recorded events and spans but keeps the allocated
+// backing arrays, so long-running tools can reuse one collector across runs
+// without reallocating.
+func (c *Collector) Reset() {
+	c.Events = c.Events[:0]
+	c.Spans = c.Spans[:0]
+	c.Dropped = 0
+	c.SpansDropped = 0
 }
 
 // Counts tallies events by kind.

@@ -73,3 +73,48 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestSpansRecordAndCap(t *testing.T) {
+	c := &Collector{Cap: 2}
+	c.RecordSpan(SpanFetch, 0, 4, 0, 0, 9)
+	c.RecordSpan(SpanBlock, 0, 4, 0, 9, 25)
+	c.RecordSpan(SpanExec, 0, 3, 7, 9, 10)
+	if len(c.Spans) != 2 || c.SpansDropped != 1 {
+		t.Fatalf("spans=%d dropped=%d", len(c.Spans), c.SpansDropped)
+	}
+	if c.Spans[0].Kind != SpanFetch || c.Spans[0].End != 9 {
+		t.Errorf("span 0 = %+v", c.Spans[0])
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := &Collector{Cap: 2}
+	for i := 0; i < 4; i++ {
+		c.Record(int64(i), KindExec, 0, i, 0)
+		c.RecordSpan(SpanExec, 0, i, 0, int64(i), int64(i+1))
+	}
+	if c.Dropped == 0 || c.SpansDropped == 0 {
+		t.Fatal("expected drops before reset")
+	}
+	evCap, spCap := cap(c.Events), cap(c.Spans)
+	c.Reset()
+	if len(c.Events) != 0 || len(c.Spans) != 0 || c.Dropped != 0 || c.SpansDropped != 0 {
+		t.Fatalf("after Reset: %+v", c)
+	}
+	if cap(c.Events) != evCap || cap(c.Spans) != spCap {
+		t.Error("Reset reallocated backing arrays")
+	}
+	// The collector must be fully usable again.
+	c.Record(9, KindExec, 1, 0, 0)
+	if len(c.Events) != 1 {
+		t.Error("record after Reset failed")
+	}
+}
+
+func TestSpanKindStrings(t *testing.T) {
+	for k := SpanFetch; k <= SpanWave; k++ {
+		if k.String() == "?" {
+			t.Errorf("span kind %d unnamed", k)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -84,8 +85,14 @@ type Config struct {
 	// of mis-predictions (extension E16).
 	ValuePredict bool
 	// Trace attaches an execution-event collector; the Result's Trace field
-	// can then render timelines and wave reports (see internal/trace).
+	// can then render timelines and wave reports (see internal/trace) or
+	// export a Chrome trace (see internal/telemetry).
 	Trace bool
+	// SampleEvery enables per-cycle telemetry sampling: every N cycles the
+	// machine records a window (IPC, occupancies, wave and miss rates) into
+	// the Result's Samples.  Zero disables sampling — the simulator hot
+	// path then pays only a nil check.
+	SampleEvery int
 }
 
 // Result is the outcome of one verified run.
@@ -108,6 +115,30 @@ type Result struct {
 	Sim sim.Stats
 	// Trace holds execution events when Config.Trace was set.
 	Trace *trace.Collector
+	// Samples holds the telemetry time series when Config.SampleEvery was
+	// set, in chronological order.
+	Samples []sim.Sample
+}
+
+// Report converts the result into its machine-readable run report
+// (telemetry.ReportSchema), ready for WriteFile.
+func (r *Result) Report() *telemetry.Report {
+	return &telemetry.Report{
+		Schema:      telemetry.ReportSchema,
+		Workload:    r.Workload,
+		Scheme:      r.Scheme,
+		Cycles:      r.Cycles,
+		Insts:       r.Insts,
+		IPC:         r.IPC,
+		Blocks:      r.Blocks,
+		Violations:  r.Violations,
+		Flushes:     r.Flushes,
+		Corrections: r.Corrections,
+		Reexecs:     r.Reexecs,
+		Waves:       r.Waves,
+		Stats:       r.Sim,
+		Samples:     r.Samples,
+	}
 }
 
 // Schemes returns the recognised scheme names, in the order the evaluation
@@ -245,6 +276,11 @@ func Run(cfg Config) (*Result, error) {
 		collector = &trace.Collector{}
 		mc.SetTracer(collector)
 	}
+	var sampler *telemetry.Sampler
+	if cfg.SampleEvery > 0 {
+		sampler = telemetry.NewSampler(0)
+		mc.SetSampler(int64(cfg.SampleEvery), sampler)
+	}
 	sr, err := mc.Run()
 	if err != nil {
 		return nil, fmt.Errorf("repro: %s/%s: %w", cfg.Workload, scheme, err)
@@ -268,7 +304,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	return &Result{
+	res := &Result{
 		Workload:    cfg.Workload,
 		Scheme:      scheme,
 		Cycles:      sr.Stats.Cycles,
@@ -282,5 +318,9 @@ func Run(cfg Config) (*Result, error) {
 		Waves:       sr.Stats.WaveCount,
 		Sim:         sr.Stats,
 		Trace:       collector,
-	}, nil
+	}
+	if sampler != nil {
+		res.Samples = sampler.Samples()
+	}
+	return res, nil
 }
