@@ -10,8 +10,16 @@
 //	dsre-bench -quick          # small sizes, for smoke runs
 //	dsre-bench -only E2,E4     # a subset of experiments
 //	dsre-bench -outdir out     # where BENCH_<id>.json artifacts go
+//	dsre-bench -jobs 8         # parallel simulations (default GOMAXPROCS)
+//	dsre-bench -cache .dsre-cache  # reuse cached results across runs
+//	dsre-bench -progress       # per-simulation progress lines on stderr
 //	dsre-bench -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //	dsre-bench -pprof localhost:6060   # live net/http/pprof listener
+//
+// Experiments run through the sweep engine (internal/sweep): the grid
+// points of each experiment execute on a bounded worker pool, one program
+// build and golden-model run is shared across the schemes of each kernel,
+// and -cache replays unchanged points from the content-addressed store.
 package main
 
 import (
@@ -48,6 +56,9 @@ func main() {
 	quick := flag.Bool("quick", false, "use small workload sizes")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E2,E4); empty runs all")
 	outdir := flag.String("outdir", ".", "directory for BENCH_<id>.json artifacts (empty disables)")
+	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	cache := flag.String("cache", "", "content-addressed result cache directory (empty disables)")
+	progress := flag.Bool("progress", false, "stream per-simulation progress to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -91,7 +102,18 @@ func main() {
 		}()
 	}
 
-	o := experiments.Opts{Quick: *quick}
+	o := experiments.Opts{Quick: *quick, Jobs: *jobs, CacheDir: *cache}
+	if *progress {
+		o.Progress = os.Stderr
+	}
+	// One engine across every experiment so workload builds and golden-model
+	// runs memoize across experiment boundaries, not just within one.
+	eng, err := experiments.NewEngine(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsre-bench: %v\n", err)
+		os.Exit(1)
+	}
+	o.Engine = eng
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
@@ -99,6 +121,13 @@ func main() {
 		}
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dsre-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	start := time.Now()
 	ran := 0

@@ -3,22 +3,91 @@
 // rendered table plus structured data so the benchmark harness and the
 // dsre-bench tool share one implementation.
 //
-// The experiment IDs (E1..E10) are indexed in DESIGN.md; EXPERIMENTS.md
+// Every experiment declares its grid as sweep.JobSpecs and folds the
+// resulting reports: the sweep engine (internal/sweep) runs the points on
+// a bounded worker pool, shares one program build and golden-model run
+// across the schemes of each kernel, and — when Opts.CacheDir is set —
+// replays unchanged points from the content-addressed result cache.
+//
+// The experiment IDs (E1..E16) are indexed in DESIGN.md; EXPERIMENTS.md
 // records the measured outcomes next to the paper's claims.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"io"
 
 	"repro"
 	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
-// Opts scales the experiments.
+// Opts scales and parallelises the experiments.
 type Opts struct {
 	// Quick shrinks workload sizes for fast regression runs; the full sizes
 	// are used for the reported numbers.
 	Quick bool
+	// Jobs bounds concurrent simulations; zero means GOMAXPROCS.
+	Jobs int
+	// CacheDir enables the content-addressed result cache rooted there, so
+	// re-running an experiment after an unrelated edit replays cached
+	// points (see internal/sweep).  Empty disables caching.
+	CacheDir string
+	// Progress streams per-job completion lines (dsre-bench passes
+	// stderr); nil is silent.
+	Progress io.Writer
+	// Engine, when set, is used for every experiment — share one via
+	// NewEngine so successive experiments reuse memoized workload builds.
+	// Nil builds a fresh engine per experiment from the fields above.
+	Engine *sweep.Engine
+}
+
+// NewEngine builds the sweep engine an Opts describes.  Assign the result
+// to Opts.Engine to share workload preparation across experiments.
+func NewEngine(o Opts) (*sweep.Engine, error) {
+	var st *sweep.Store
+	if o.CacheDir != "" {
+		var err error
+		if st, err = sweep.OpenStore(o.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	var rep *sweep.Reporter
+	if o.Progress != nil {
+		rep = sweep.NewReporter(o.Progress, o.Jobs)
+	}
+	return sweep.New(sweep.Options{Workers: o.Jobs, Store: st, Progress: rep}), nil
+}
+
+// engine returns the configured engine, building one when Opts.Engine is
+// unset.  It panics on a bad configuration: experiments are a harness, not
+// a library surface.
+func (o Opts) engine() *sweep.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	eng, err := NewEngine(o)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return eng
+}
+
+// results runs a grid through the sweep engine and returns the reports in
+// spec order, panicking on any failed point: an experiment that cannot run
+// is a broken build, not a measurement.
+func (o Opts) results(specs []sweep.JobSpec) []*telemetry.Report {
+	sum, err := o.engine().Run(context.Background(), specs)
+	if err != nil {
+		panic(fmt.Sprintf("experiment sweep failed: %v", err))
+	}
+	reps, err := sum.Reports()
+	if err != nil {
+		panic(fmt.Sprintf("experiment run failed: %v", err))
+	}
+	return reps
 }
 
 // sizeFor returns the workload size: kernel defaults normally, reduced
@@ -39,6 +108,11 @@ func (o Opts) sizeFor(kernel string) int {
 	}
 }
 
+// spec is the shorthand for one grid point at the Opts-scaled size.
+func (o Opts) spec(kernel, scheme string) sweep.JobSpec {
+	return sweep.JobSpec{Workload: kernel, Scheme: scheme, Size: o.sizeFor(kernel)}
+}
+
 // Kernels returns the benchmark suite in reporting order.
 func Kernels() []string { return repro.Workloads() }
 
@@ -51,8 +125,9 @@ func IDs() []string {
 	}
 }
 
-// run executes one configuration, panicking on error: an experiment that
-// cannot run is a broken build, not a measurement.
+// run executes one configuration sequentially, panicking on error.  The
+// experiments themselves go through the sweep engine; this is the
+// sequential reference path, kept for tests that pin sweep results to it.
 func run(cfg repro.Config) *repro.Result {
 	r, err := repro.Run(cfg)
 	if err != nil {
@@ -106,14 +181,23 @@ type SpeedupSummary struct {
 // over the conservative baseline, and the two headline geomeans.
 func E2E3Speedup(o Opts) (*stats.Table, *stats.Table, SpeedupSummary) {
 	schemes := repro.Schemes()
+	var specs []sweep.JobSpec
+	for _, k := range Kernels() {
+		for _, s := range schemes {
+			specs = append(specs, o.spec(k, s))
+		}
+	}
+	reps := o.results(specs)
+
 	ipc := make(map[string]map[string]float64, len(schemes))
 	for _, s := range schemes {
 		ipc[s] = make(map[string]float64)
 	}
+	i := 0
 	for _, k := range Kernels() {
 		for _, s := range schemes {
-			r := run(repro.Config{Workload: k, Scheme: s, Size: o.sizeFor(k)})
-			ipc[s][k] = r.IPC
+			ipc[s][k] = reps[i].IPC
+			i++
 		}
 	}
 
@@ -159,14 +243,28 @@ func E2E3Speedup(o Opts) (*stats.Table, *stats.Table, SpeedupSummary) {
 func E4WindowScaling(o Opts) *stats.Table {
 	frames := []int{2, 4, 8, 16, 32}
 	kernels := []string{"histogram", "stencil", "bank"}
+	schemes := []string{"storeset+flush", "dsre"}
+	var specs []sweep.JobSpec
+	for _, k := range kernels {
+		for _, s := range schemes {
+			for _, f := range frames {
+				sp := o.spec(k, s)
+				sp.Frames = f
+				specs = append(specs, sp)
+			}
+		}
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E4: IPC vs window size (frames × 128 insts)",
 		"workload", "scheme", "2", "4", "8", "16", "32")
+	i := 0
 	for _, k := range kernels {
-		for _, s := range []string{"storeset+flush", "dsre"} {
+		for _, s := range schemes {
 			row := []any{k, s}
-			for _, f := range frames {
-				r := run(repro.Config{Workload: k, Scheme: s, Size: o.sizeFor(k), Frames: f})
-				row = append(row, r.IPC)
+			for range frames {
+				row = append(row, reps[i].IPC)
+				i++
 			}
 			t.Row(row...)
 		}
@@ -177,14 +275,25 @@ func E4WindowScaling(o Opts) *stats.Table {
 // E5Misspec produces the mis-speculation statistics table: violation rates
 // and the work each recovery scheme throws away or re-does.
 func E5Misspec(o Opts) *stats.Table {
+	schemes := []string{"aggressive+flush", "dsre"}
+	var specs []sweep.JobSpec
+	for _, k := range Kernels() {
+		for _, s := range schemes {
+			specs = append(specs, o.spec(k, s))
+		}
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E5: mis-speculation behaviour (aggressive issue)",
 		"workload", "recovery", "violations/1k insts", "flushes", "squashed execs", "corrections", "re-execs", "re-exec/inst %")
+	i := 0
 	for _, k := range Kernels() {
-		for _, s := range []string{"aggressive+flush", "dsre"} {
-			r := run(repro.Config{Workload: k, Scheme: s, Size: o.sizeFor(k)})
+		for _, s := range schemes {
+			r := reps[i]
+			i++
 			t.Row(k, s,
 				1000*float64(r.Violations)/float64(r.Insts),
-				r.Flushes, r.Sim.SquashedExecs, r.Corrections, r.Reexecs,
+				r.Flushes, r.Stats.SquashedExecs, r.Corrections, r.Reexecs,
 				100*float64(r.Reexecs)/float64(r.Insts))
 		}
 	}
@@ -194,11 +303,19 @@ func E5Misspec(o Opts) *stats.Table {
 // E6CommitWave measures the cost of the commit wave sharing the operand
 // network: IPC with commit tokens charged vs free.
 func E6CommitWave(o Opts) *stats.Table {
+	var specs []sweep.JobSpec
+	for _, k := range Kernels() {
+		specs = append(specs, o.spec(k, "dsre"))
+		free := o.spec(k, "dsre")
+		free.CommitTokensFree = true
+		specs = append(specs, free)
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E6: commit-wave network cost (DSRE)",
 		"workload", "IPC charged", "IPC free", "overhead %")
-	for _, k := range Kernels() {
-		a := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k)})
-		b := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k), CommitTokensFree: true})
+	for i, k := range Kernels() {
+		a, b := reps[2*i], reps[2*i+1]
 		t.Row(k, a.IPC, b.IPC, 100*(b.IPC-a.IPC)/a.IPC)
 	}
 	return t
@@ -207,12 +324,21 @@ func E6CommitWave(o Opts) *stats.Table {
 // E7Suppression measures identical-value wave suppression: wave volume and
 // IPC with the optimisation on vs off.
 func E7Suppression(o Opts) *stats.Table {
+	kernels := []string{"stencil", "histogram", "bank", "hashmap", "cursor"}
+	var specs []sweep.JobSpec
+	for _, k := range kernels {
+		specs = append(specs, o.spec(k, "dsre"))
+		off := o.spec(k, "dsre")
+		off.NoSuppressIdentical = true
+		specs = append(specs, off)
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E7: identical-value suppression (DSRE)",
 		"workload", "IPC on", "re-execs on", "IPC off", "re-execs off", "silent stores absorbed")
-	for _, k := range []string{"stencil", "histogram", "bank", "hashmap", "cursor"} {
-		a := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k)})
-		b := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k), NoSuppressIdentical: true})
-		t.Row(k, a.IPC, a.Reexecs, b.IPC, b.Reexecs, a.Sim.LSQ.SilentStoreHits)
+	for i, k := range kernels {
+		a, b := reps[2*i], reps[2*i+1]
+		t.Row(k, a.IPC, a.Reexecs, b.IPC, b.Reexecs, a.Stats.LSQ.SilentStoreHits)
 	}
 	return t
 }
@@ -220,11 +346,16 @@ func E7Suppression(o Opts) *stats.Table {
 // E8WaveSizes characterises recovery waves: instructions re-executed per
 // injected wave.
 func E8WaveSizes(o Opts) *stats.Table {
+	var specs []sweep.JobSpec
+	for _, k := range Kernels() {
+		specs = append(specs, o.spec(k, "dsre"))
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E8: wave sizes (instructions re-executed per violation wave)",
 		"workload", "waves", "mean", "p50", "p90", "max")
-	for _, k := range Kernels() {
-		r := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k)})
-		h := r.Sim.WaveSizeHist
+	for i, k := range Kernels() {
+		h := reps[i].Stats.WaveSizeHist
 		if h.N == 0 {
 			t.Row(k, 0, "-", "-", "-", "-")
 			continue
@@ -236,17 +367,61 @@ func E8WaveSizes(o Opts) *stats.Table {
 
 // E9HopLatency measures sensitivity to operand-network hop latency.
 func E9HopLatency(o Opts) *stats.Table {
+	kernels := []string{"histogram", "vecsum", "treewalk"}
+	schemes := []string{"storeset+flush", "dsre"}
+	hops := []int{1, 2, 4}
+	var specs []sweep.JobSpec
+	for _, k := range kernels {
+		for _, s := range schemes {
+			for _, hop := range hops {
+				sp := o.spec(k, s)
+				sp.HopLatency = hop
+				specs = append(specs, sp)
+			}
+		}
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E9: IPC vs mesh hop latency",
 		"workload", "scheme", "hop=1", "hop=2", "hop=4")
-	for _, k := range []string{"histogram", "vecsum", "treewalk"} {
-		for _, s := range []string{"storeset+flush", "dsre"} {
+	i := 0
+	for _, k := range kernels {
+		for _, s := range schemes {
 			row := []any{k, s}
-			for _, hop := range []int{1, 2, 4} {
-				r := run(repro.Config{Workload: k, Scheme: s, Size: o.sizeFor(k), HopLatency: hop})
-				row = append(row, r.IPC)
+			for range hops {
+				row = append(row, reps[i].IPC)
+				i++
 			}
 			t.Row(row...)
 		}
+	}
+	return t
+}
+
+// E10StoreSetSize measures store-set capacity sensitivity.
+func E10StoreSetSize(o Opts) *stats.Table {
+	kernels := []string{"histogram", "hashmap", "stencil"}
+	sizes := []int{256, 1024, 4096, 16384}
+	var specs []sweep.JobSpec
+	for _, k := range kernels {
+		for _, n := range sizes {
+			sp := o.spec(k, "storeset+dsre")
+			sp.StoreSetSize = n
+			specs = append(specs, sp)
+		}
+	}
+	reps := o.results(specs)
+
+	t := stats.NewTable("E10: storeset+dsre IPC vs SSIT entries",
+		"workload", "256", "1024", "4096", "16384")
+	i := 0
+	for _, k := range kernels {
+		row := []any{k}
+		for range sizes {
+			row = append(row, reps[i].IPC)
+			i++
+		}
+		t.Row(row...)
 	}
 	return t
 }
@@ -256,13 +431,23 @@ func E9HopLatency(o Opts) *stats.Table {
 // trace — separating control-speculation losses from memory-speculation
 // effects.
 func E11BlockPredictors(o Opts) *stats.Table {
+	kernels := []string{"treewalk", "spmv", "sort", "matmul", "histogram"}
+	preds := []string{"last", "twolevel", "perfect"}
+	var specs []sweep.JobSpec
+	for _, k := range kernels {
+		for _, p := range preds {
+			sp := o.spec(k, "dsre")
+			sp.BlockPredictor = p
+			specs = append(specs, sp)
+		}
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E11: IPC by next-block predictor (DSRE)",
 		"workload", "last-target", "two-level", "perfect", "squashed blocks (two-level)")
-	for _, k := range []string{"treewalk", "spmv", "sort", "matmul", "histogram"} {
-		last := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k), BlockPredictor: "last"})
-		two := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k), BlockPredictor: "twolevel"})
-		perf := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k), BlockPredictor: "perfect"})
-		t.Row(k, last.IPC, two.IPC, perf.IPC, two.Sim.SquashedBlocks)
+	for i, k := range kernels {
+		last, two, perf := reps[3*i], reps[3*i+1], reps[3*i+2]
+		t.Row(k, last.IPC, two.IPC, perf.IPC, two.Stats.SquashedBlocks)
 	}
 	return t
 }
@@ -272,15 +457,26 @@ func E11BlockPredictors(o Opts) *stats.Table {
 // work re-done by waves — the energy-style argument for selective
 // re-execution.
 func E12WorkBreakdown(o Opts) *stats.Table {
+	schemes := []string{"aggressive+flush", "dsre"}
+	var specs []sweep.JobSpec
+	for _, k := range Kernels() {
+		for _, s := range schemes {
+			specs = append(specs, o.spec(k, s))
+		}
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E12: speculative work breakdown (aggressive issue)",
 		"workload", "recovery", "useful execs", "squashed execs", "re-execs", "total execs", "overhead %")
+	i := 0
 	for _, k := range Kernels() {
-		for _, s := range []string{"aggressive+flush", "dsre"} {
-			r := run(repro.Config{Workload: k, Scheme: s, Size: o.sizeFor(k)})
-			total := r.Sim.Executed
-			useful := r.Sim.CommittedExecs
+		for _, s := range schemes {
+			r := reps[i]
+			i++
+			total := r.Stats.Executed
+			useful := r.Stats.CommittedExecs
 			over := 100 * float64(total-useful) / float64(total)
-			t.Row(k, s, useful, r.Sim.SquashedExecs, r.Reexecs, total, over)
+			t.Row(k, s, useful, r.Stats.SquashedExecs, r.Reexecs, total, over)
 		}
 	}
 	return t
@@ -289,12 +485,21 @@ func E12WorkBreakdown(o Opts) *stats.Table {
 // E13Placement compares instruction-to-tile placement policies: operand
 // hops saved by chain placement vs issue-balance lost.
 func E13Placement(o Opts) *stats.Table {
+	kernels := []string{"vecsum", "histogram", "listsum", "matmul", "queue"}
+	var specs []sweep.JobSpec
+	for _, k := range kernels {
+		specs = append(specs, o.spec(k, "dsre"))
+		ch := o.spec(k, "dsre")
+		ch.Placement = "chain"
+		specs = append(specs, ch)
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E13: instruction placement (DSRE)",
 		"workload", "IPC round-robin", "IPC chain", "hops RR", "hops chain")
-	for _, k := range []string{"vecsum", "histogram", "listsum", "matmul", "queue"} {
-		rr := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k)})
-		ch := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k), Placement: "chain"})
-		t.Row(k, rr.IPC, ch.IPC, rr.Sim.Net.Hops, ch.Sim.Net.Hops)
+	for i, k := range kernels {
+		rr, ch := reps[2*i], reps[2*i+1]
+		t.Row(k, rr.IPC, ch.IPC, rr.Stats.Net.Hops, ch.Stats.Net.Hops)
 	}
 	return t
 }
@@ -303,20 +508,34 @@ func E13Placement(o Opts) *stats.Table {
 // ports across the D-tile column vs funnelling all memory traffic into a
 // single port.
 func E14DTileBanks(o Opts) *stats.Table {
+	kernels := []string{"histogram", "vecsum", "queue", "matmul"}
+	banks := []int{1, 2, 4}
+	var specs []sweep.JobSpec
+	for _, k := range kernels {
+		for _, b := range banks {
+			sp := o.spec(k, "dsre")
+			sp.DTileBanks = b
+			specs = append(specs, sp)
+		}
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E14: D-tile memory ports (DSRE)",
 		"workload", "1 bank", "2 banks", "4 banks", "queue-wait 1", "queue-wait 4")
-	for _, k := range []string{"histogram", "vecsum", "queue", "matmul"} {
+	i := 0
+	for _, k := range kernels {
 		var ipcs []any
 		var qw1, qw4 int64
 		ipcs = append(ipcs, k)
-		for _, banks := range []int{1, 2, 4} {
-			r := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k), DTileBanks: banks})
+		for _, b := range banks {
+			r := reps[i]
+			i++
 			ipcs = append(ipcs, r.IPC)
-			if banks == 1 {
-				qw1 = r.Sim.Net.QueueWait
+			if b == 1 {
+				qw1 = r.Stats.Net.QueueWait
 			}
-			if banks == 4 {
-				qw4 = r.Sim.Net.QueueWait
+			if b == 4 {
+				qw4 = r.Stats.Net.QueueWait
 			}
 		}
 		ipcs = append(ipcs, qw1, qw4)
@@ -330,16 +549,30 @@ func E14DTileBanks(o Opts) *stats.Table {
 // TRIPS LSQ-capacity problem that motivated the authors' later late-binding
 // LSQ work).
 func E15LSQCapacity(o Opts) *stats.Table {
+	kernels := []string{"histogram", "bank", "stencil", "queue"}
+	caps := []int{32, 64, 128, 0}
+	var specs []sweep.JobSpec
+	for _, k := range kernels {
+		for _, cap := range caps {
+			sp := o.spec(k, "dsre")
+			sp.LSQCapacity = cap
+			specs = append(specs, sp)
+		}
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E15: IPC vs LSQ capacity (DSRE; window has 256 LSID slots)",
 		"workload", "cap 32", "cap 64", "cap 128", "unbounded", "stall cycles @32")
-	for _, k := range []string{"histogram", "bank", "stencil", "queue"} {
+	i := 0
+	for _, k := range kernels {
 		row := []any{k}
 		var stall32 int64
-		for _, cap := range []int{32, 64, 128, 0} {
-			r := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k), LSQCapacity: cap})
+		for _, cap := range caps {
+			r := reps[i]
+			i++
 			row = append(row, r.IPC)
 			if cap == 32 {
-				stall32 = r.Sim.FetchStallLSQ
+				stall32 = r.Stats.FetchStallLSQ
 			}
 		}
 		row = append(row, stall32)
@@ -357,30 +590,25 @@ func E15LSQCapacity(o Opts) *stats.Table {
 // on a machine that does NOT speculate on memory ordering: value prediction
 // lets even the conservative policy run ahead.
 func E16ValuePrediction(o Opts) *stats.Table {
+	kernels := []string{"cursor", "queue", "vecsum", "histogram", "treewalk"}
+	var specs []sweep.JobSpec
+	for _, k := range kernels {
+		d := o.spec(k, "dsre")
+		dv := o.spec(k, "dsre")
+		dv.ValuePredict = true
+		c := o.spec(k, "conservative+dsre")
+		cv := o.spec(k, "conservative+dsre")
+		cv.ValuePredict = true
+		specs = append(specs, d, dv, c, cv)
+	}
+	reps := o.results(specs)
+
 	t := stats.NewTable("E16: map-time load-value prediction (repair via DSRE waves)",
 		"workload", "dsre", "dsre+vp", "conservative", "conservative+vp", "cons gain", "VP hits", "VP corrections")
-	for _, k := range []string{"cursor", "queue", "vecsum", "histogram", "treewalk"} {
-		d := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k)})
-		dv := run(repro.Config{Workload: k, Scheme: "dsre", Size: o.sizeFor(k), ValuePredict: true})
-		c := run(repro.Config{Workload: k, Scheme: "conservative+dsre", Size: o.sizeFor(k)})
-		cv := run(repro.Config{Workload: k, Scheme: "conservative+dsre", Size: o.sizeFor(k), ValuePredict: true})
+	for i, k := range kernels {
+		d, dv, c, cv := reps[4*i], reps[4*i+1], reps[4*i+2], reps[4*i+3]
 		t.Row(k, d.IPC, dv.IPC, c.IPC, cv.IPC,
-			fmt.Sprintf("%.2fx", cv.IPC/c.IPC), cv.Sim.VPHits, cv.Sim.VPCorrections)
-	}
-	return t
-}
-
-// E10StoreSetSize measures store-set capacity sensitivity.
-func E10StoreSetSize(o Opts) *stats.Table {
-	t := stats.NewTable("E10: storeset+dsre IPC vs SSIT entries",
-		"workload", "256", "1024", "4096", "16384")
-	for _, k := range []string{"histogram", "hashmap", "stencil"} {
-		row := []any{k}
-		for _, n := range []int{256, 1024, 4096, 16384} {
-			r := run(repro.Config{Workload: k, Scheme: "storeset+dsre", Size: o.sizeFor(k), StoreSetSize: n})
-			row = append(row, r.IPC)
-		}
-		t.Row(row...)
+			fmt.Sprintf("%.2fx", cv.IPC/c.IPC), cv.Stats.VPHits, cv.Stats.VPCorrections)
 	}
 	return t
 }

@@ -129,24 +129,82 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate sanity-checks the configuration.
+// ConfigError reports a configuration field that would deadlock or crash
+// the machine, caught before construction instead of deep inside a run.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// Validate sanity-checks the configuration.  Nonsensical machines (zero
+// tiles, a window smaller than one block, dead network links) are rejected
+// with a *ConfigError naming the field, so callers building configurations
+// programmatically — the sweep engine in particular — fail fast instead of
+// deadlocking mid-simulation.
 func (c *Config) Validate() error {
 	if c.GridWidth < 1 || c.GridHeight < 1 {
-		return fmt.Errorf("sim: grid %dx%d", c.GridWidth, c.GridHeight)
+		return &ConfigError{"GridWidth/GridHeight", fmt.Sprintf("grid %dx%d needs at least one execution tile", c.GridWidth, c.GridHeight)}
+	}
+	if c.WindowInsts() < isa.MaxInsts {
+		return &ConfigError{"Frames", fmt.Sprintf("window of %d instructions cannot hold one %d-instruction block", c.WindowInsts(), isa.MaxInsts)}
 	}
 	if c.Frames < 2 {
-		return fmt.Errorf("sim: %d frames (need >= 2 for any speculation)", c.Frames)
+		return &ConfigError{"Frames", fmt.Sprintf("%d frames (need >= 2 for any speculation)", c.Frames)}
 	}
-	if c.HopLatency < 1 || c.LinkBandwidth < 1 {
-		return fmt.Errorf("sim: hop latency %d, link bandwidth %d", c.HopLatency, c.LinkBandwidth)
+	if c.HopLatency < 1 {
+		return &ConfigError{"HopLatency", fmt.Sprintf("%d-cycle hops (need >= 1)", c.HopLatency)}
+	}
+	if c.LinkBandwidth < 1 {
+		return &ConfigError{"LinkBandwidth", fmt.Sprintf("%d msgs/link/cycle (need >= 1)", c.LinkBandwidth)}
 	}
 	if c.ALULatency < 1 || c.MulLatency < 1 || c.DivLatency < 1 {
-		return fmt.Errorf("sim: zero execution latency")
+		return &ConfigError{"ALULatency/MulLatency/DivLatency", "zero execution latency"}
 	}
 	if c.FetchCycles < 1 {
-		return fmt.Errorf("sim: fetch cycles %d", c.FetchCycles)
+		return &ConfigError{"FetchCycles", fmt.Sprintf("%d fetch cycles (need >= 1)", c.FetchCycles)}
+	}
+	if c.LSQCapacity < 0 {
+		return &ConfigError{"LSQCapacity", fmt.Sprintf("%d entries (zero means unbounded; negative is meaningless)", c.LSQCapacity)}
+	}
+	if c.LSQCapacity > 0 && c.LSQCapacity < isa.MaxMemOps {
+		return &ConfigError{"LSQCapacity", fmt.Sprintf("%d entries cannot hold one block's %d memory ops — mapping would deadlock", c.LSQCapacity, isa.MaxMemOps)}
+	}
+	if c.DTileBanks < 0 {
+		return &ConfigError{"DTileBanks", fmt.Sprintf("%d banks (zero means default; negative is meaningless)", c.DTileBanks)}
+	}
+	if c.MaxCycles < 0 || c.DeadlockCycles < 0 {
+		return &ConfigError{"MaxCycles/DeadlockCycles", "negative cycle budget"}
 	}
 	return nil
+}
+
+// Canonical returns the configuration with every zero-means-default and
+// alias field resolved to its effective value: MaxCycles/DeadlockCycles
+// become their working budgets, DTileBanks is clamped exactly as the
+// machine clamps it, and the PerfectBlockPred flag and PredPerfect kind
+// imply each other.  Two configurations that build identical machines have
+// identical canonical forms, which is what makes a content hash over the
+// canonical form a safe cache key (see internal/sweep).
+func (c Config) Canonical() Config {
+	c.MaxCycles = c.maxCycles()
+	c.DeadlockCycles = c.deadlockCycles()
+	if c.DTileBanks < 1 {
+		c.DTileBanks = 1
+	}
+	if c.DTileBanks > c.GridHeight {
+		c.DTileBanks = c.GridHeight
+	}
+	if c.PerfectBlockPred {
+		c.BlockPred = PredPerfect
+	}
+	if c.BlockPred == PredPerfect {
+		c.PerfectBlockPred = true
+	}
+	return c
 }
 
 func (c *Config) maxCycles() int64 {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,11 +17,27 @@ type Result struct {
 	Stats  Stats
 }
 
+// ctxCheckInterval is how often RunContext polls its context, in cycles.
+// A power of two so the hot loop pays one AND plus a rarely-taken branch;
+// at simulator speeds a few thousand cycles resolve in well under a
+// millisecond, so cancellation still lands at what a caller perceives as
+// "a cycle boundary, immediately".
+const ctxCheckInterval = 4096
+
 // Run simulates to completion (the committed halt branch) and returns the
 // final architectural state and statistics.
 func (mc *Machine) Run() (*Result, error) {
+	return mc.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: a sweep timeout or Ctrl-C cancels the
+// simulation at a cycle boundary, returning the context's error.  The
+// context is polled every ctxCheckInterval cycles (never in the per-cycle
+// hot path), and not at all for contexts that cannot be cancelled.
+func (mc *Machine) RunContext(ctx context.Context) (*Result, error) {
 	maxCycles := mc.cfg.maxCycles()
 	deadlock := mc.cfg.deadlockCycles()
+	cancellable := ctx != nil && ctx.Done() != nil
 	for !mc.done {
 		if mc.err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", mc.cycle, mc.err)
@@ -31,6 +48,11 @@ func (mc *Machine) Run() (*Result, error) {
 		if mc.cycle-mc.lastCommitCycle > deadlock {
 			return nil, fmt.Errorf("sim: no commit for %d cycles at cycle %d — protocol deadlock\n%s",
 				deadlock, mc.cycle, mc.debugDump())
+		}
+		if cancellable && mc.cycle&(ctxCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: cancelled at cycle %d: %w", mc.cycle, err)
+			}
 		}
 		mc.step()
 	}

@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Grid is the declarative cross-product form of a sweep, the JSON accepted
+// by dsre-sweep -grid.  Every listed axis multiplies the grid; an empty
+// axis contributes the default (zero) value.  Explicit Specs are appended
+// after the expansion, so a grid file can mix a cross product with
+// hand-picked extra points.
+type Grid struct {
+	Workloads []string `json:"workloads,omitempty"`
+	Schemes   []string `json:"schemes,omitempty"`
+	Sizes     []int    `json:"sizes,omitempty"`
+	Unrolls   []int    `json:"unrolls,omitempty"`
+	Seeds     []uint64 `json:"seeds,omitempty"`
+
+	Frames              []int    `json:"frames,omitempty"`
+	GridWidths          []int    `json:"grid_widths,omitempty"`
+	GridHeights         []int    `json:"grid_heights,omitempty"`
+	HopLatencies        []int    `json:"hop_latencies,omitempty"`
+	LinkBandwidths      []int    `json:"link_bandwidths,omitempty"`
+	StoreSetSizes       []int    `json:"store_set_sizes,omitempty"`
+	MemLatencies        []int    `json:"mem_latencies,omitempty"`
+	DTileBanks          []int    `json:"dtile_banks,omitempty"`
+	LSQCapacities       []int    `json:"lsq_capacities,omitempty"`
+	BlockPredictors     []string `json:"block_predictors,omitempty"`
+	Placements          []string `json:"placements,omitempty"`
+	ValuePredict        []bool   `json:"value_predict,omitempty"`
+	CommitTokensFree    []bool   `json:"commit_tokens_free,omitempty"`
+	NoSuppressIdentical []bool   `json:"no_suppress_identical,omitempty"`
+
+	// SampleEvery applies to every expanded point (not an axis: sampling
+	// is an observability knob, not a design-space dimension).
+	SampleEvery int `json:"sample_every,omitempty"`
+
+	// Specs are explicit extra points appended after the cross product.
+	Specs []JobSpec `json:"specs,omitempty"`
+}
+
+// cross multiplies the running spec list by one axis.
+func cross[T any](in []JobSpec, vals []T, set func(*JobSpec, T)) []JobSpec {
+	if len(vals) == 0 {
+		return in
+	}
+	out := make([]JobSpec, 0, len(in)*len(vals))
+	for _, s := range in {
+		for _, v := range vals {
+			c := s
+			set(&c, v)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Expand produces the grid's job specs: the full cross product of the
+// populated axes (workloads vary slowest, in field order), then the
+// explicit Specs.
+func (g Grid) Expand() ([]JobSpec, error) {
+	if len(g.Workloads) == 0 && len(g.Specs) == 0 {
+		return nil, fmt.Errorf("sweep: grid names no workloads and no explicit specs")
+	}
+	var specs []JobSpec
+	if len(g.Workloads) > 0 {
+		specs = []JobSpec{{SampleEvery: g.SampleEvery}}
+		specs = cross(specs, g.Workloads, func(s *JobSpec, v string) { s.Workload = v })
+		specs = cross(specs, g.Schemes, func(s *JobSpec, v string) { s.Scheme = v })
+		specs = cross(specs, g.Sizes, func(s *JobSpec, v int) { s.Size = v })
+		specs = cross(specs, g.Unrolls, func(s *JobSpec, v int) { s.Unroll = v })
+		specs = cross(specs, g.Seeds, func(s *JobSpec, v uint64) { s.Seed = v })
+		specs = cross(specs, g.Frames, func(s *JobSpec, v int) { s.Frames = v })
+		specs = cross(specs, g.GridWidths, func(s *JobSpec, v int) { s.GridWidth = v })
+		specs = cross(specs, g.GridHeights, func(s *JobSpec, v int) { s.GridHeight = v })
+		specs = cross(specs, g.HopLatencies, func(s *JobSpec, v int) { s.HopLatency = v })
+		specs = cross(specs, g.LinkBandwidths, func(s *JobSpec, v int) { s.LinkBandwidth = v })
+		specs = cross(specs, g.StoreSetSizes, func(s *JobSpec, v int) { s.StoreSetSize = v })
+		specs = cross(specs, g.MemLatencies, func(s *JobSpec, v int) { s.MemLatency = v })
+		specs = cross(specs, g.DTileBanks, func(s *JobSpec, v int) { s.DTileBanks = v })
+		specs = cross(specs, g.LSQCapacities, func(s *JobSpec, v int) { s.LSQCapacity = v })
+		specs = cross(specs, g.BlockPredictors, func(s *JobSpec, v string) { s.BlockPredictor = v })
+		specs = cross(specs, g.Placements, func(s *JobSpec, v string) { s.Placement = v })
+		specs = cross(specs, g.ValuePredict, func(s *JobSpec, v bool) { s.ValuePredict = v })
+		specs = cross(specs, g.CommitTokensFree, func(s *JobSpec, v bool) { s.CommitTokensFree = v })
+		specs = cross(specs, g.NoSuppressIdentical, func(s *JobSpec, v bool) { s.NoSuppressIdentical = v })
+	}
+	specs = append(specs, g.Specs...)
+	return specs, nil
+}
+
+// ReadGrid loads a grid definition from a JSON file, rejecting unknown
+// fields so a typoed axis name fails loudly instead of silently sweeping
+// nothing.
+func ReadGrid(path string) (*Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Grid
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("sweep: parse grid %s: %w", path, err)
+	}
+	return &g, nil
+}

@@ -1,0 +1,110 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// tinyGrid is a real but fast grid: two kernels, three schemes.
+func tinyGrid() []JobSpec {
+	var specs []JobSpec
+	for _, w := range []string{"vecsum", "histogram"} {
+		for _, s := range []string{"storeset+flush", "dsre", "oracle"} {
+			specs = append(specs, JobSpec{Workload: w, Size: 256, Scheme: s})
+		}
+	}
+	return specs
+}
+
+// TestEngineMatchesSequential pins the tentpole invariant: the parallel,
+// memoized sweep path produces byte-identical reports to sequential
+// repro.Run for every point.
+func TestEngineMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	specs := tinyGrid()
+	eng := New(Options{Workers: 4})
+	sum, err := eng.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := sum.Reports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		seq, err := repro.Run(s.Config())
+		if err != nil {
+			t.Fatalf("%s: sequential run: %v", s.Name(), err)
+		}
+		want, err := seq.Report().Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reps[i].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: sweep report diverged from sequential run:\n--- sweep\n%s\n--- sequential\n%s", s.Name(), got, want)
+		}
+	}
+}
+
+// TestEngineRealCacheRoundTrip runs a real grid twice against one store:
+// the second run must be pure cache hits with byte-identical payloads.
+func TestEngineRealCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := tinyGrid()
+
+	run := func() *Summary {
+		eng := New(Options{Workers: 4, Store: st, Timeout: 5 * time.Minute})
+		sum, err := eng.Run(context.Background(), specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Failed != 0 {
+			t.Fatalf("failed jobs: %s", sum.FirstError())
+		}
+		return sum
+	}
+	first := run()
+	if first.CacheHits != 0 {
+		t.Fatalf("first run had %d cache hits in a fresh store", first.CacheHits)
+	}
+	second := run()
+	if second.CacheHits != len(specs) {
+		t.Fatalf("second run: %d/%d cache hits", second.CacheHits, len(specs))
+	}
+	for i := range specs {
+		a, _ := json.Marshal(first.Jobs[i].Report)
+		b, _ := json.Marshal(second.Jobs[i].Report)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: cached payload differs from computed payload", specs[i].Name())
+		}
+	}
+}
+
+// TestRunContextCancelsSimulation covers the context satellite end to end:
+// an already-cancelled context stops a real simulation at a cycle boundary.
+func TestRunContextCancelsSimulation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := repro.RunContext(ctx, repro.Config{Workload: "vecsum", Size: 256})
+	if err == nil || !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("cancelled RunContext = %v, want cancellation error", err)
+	}
+}

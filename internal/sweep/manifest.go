@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+// ManifestSchema identifies the sweep-manifest wire format.
+const ManifestSchema = "dsre-sweep-manifest/v1"
+
+// Manifest is the machine-readable account of one sweep: every job's spec,
+// hash and outcome, without the result payloads (those live in the store,
+// addressed by each job's hash).  A manifest is also a runnable grid:
+// dsre-sweep -resume replays its specs, so finishing an interrupted or
+// partially-failed sweep needs nothing but the manifest and the cache.
+type Manifest struct {
+	Schema     string      `json:"schema"`
+	SimVersion string      `json:"sim_version"`
+	Jobs       []JobResult `json:"jobs"`
+	Totals     Totals      `json:"totals"`
+}
+
+// Totals summarises a manifest's jobs.
+type Totals struct {
+	Jobs      int   `json:"jobs"`
+	OK        int   `json:"ok"`
+	Failed    int   `json:"failed"`
+	CacheHits int   `json:"cache_hits"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// NewManifest builds the manifest for a summary.
+func NewManifest(sum *Summary) *Manifest {
+	return &Manifest{
+		Schema:     ManifestSchema,
+		SimVersion: sim.Version,
+		Jobs:       sum.Jobs,
+		Totals: Totals{
+			Jobs:      len(sum.Jobs),
+			OK:        sum.OK,
+			Failed:    sum.Failed,
+			CacheHits: sum.CacheHits,
+			ElapsedMS: sum.Elapsed.Milliseconds(),
+		},
+	}
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadManifest loads and schema-checks a manifest.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("sweep: parse manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("sweep: manifest %s schema %q, want %q", path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}
+
+// Specs returns the manifest's grid, in manifest order — the input for a
+// resumed sweep.  Completed points replay from the cache; failed or
+// never-run points recompute.
+func (m *Manifest) Specs() []JobSpec {
+	specs := make([]JobSpec, len(m.Jobs))
+	for i := range m.Jobs {
+		specs[i] = m.Jobs[i].Spec
+	}
+	return specs
+}

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter streams per-job completions to a writer (stderr in the CLIs):
+// running counts, cache-hit ratio, failures and an ETA extrapolated from
+// the mean compute time of the jobs that actually simulated.
+type Reporter struct {
+	w       io.Writer
+	workers int
+
+	mu        sync.Mutex
+	total     int
+	dups      int
+	done      int
+	hits      int
+	fails     int
+	computeNS int64 // total wall time of computed (non-hit) jobs
+	computed  int
+	started   time.Time
+}
+
+// NewReporter creates a reporter writing to w; workers is the pool size
+// used for the ETA (<= 0 is treated as 1).
+func NewReporter(w io.Writer, workers int) *Reporter {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Reporter{w: w, workers: workers}
+}
+
+func (r *Reporter) begin(total, dups int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total = total
+	r.dups = dups
+	r.done = 0
+	r.hits = 0
+	r.fails = 0
+	r.computeNS = 0
+	r.computed = 0
+	r.started = time.Now()
+	if dups > 0 {
+		fmt.Fprintf(r.w, "sweep: %d jobs (%d deduplicated onto identical points)\n", total, dups)
+	} else {
+		fmt.Fprintf(r.w, "sweep: %d jobs\n", total)
+	}
+}
+
+// jobDone records one unique job's completion covering copies duplicates.
+func (r *Reporter) jobDone(res JobResult, copies int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done += copies
+	switch {
+	case res.Status != StatusOK:
+		r.fails += copies
+	case res.CacheHit:
+		r.hits += copies
+	default:
+		r.hits += copies - 1 // duplicate spellings replay the computation
+		r.computed++
+		r.computeNS += res.Elapsed * int64(time.Millisecond)
+	}
+
+	status := "run "
+	switch {
+	case res.Status != StatusOK:
+		status = "FAIL"
+	case res.CacheHit:
+		status = "hit "
+	}
+	line := fmt.Sprintf("sweep: %*d/%d %s %-28s %8s", digits(r.total), r.done, r.total,
+		status, res.Spec.Name(), fmtMS(res.Elapsed))
+	if eta, ok := r.eta(); ok {
+		line += "  eta " + eta.Round(time.Second).String()
+	}
+	line += fmt.Sprintf("  (hits %d%%, failures %d)", 100*r.hits/max(r.done, 1), r.fails)
+	if res.Status != StatusOK {
+		line += "\n  " + firstLine(res.Error)
+	}
+	fmt.Fprintln(r.w, line)
+}
+
+// eta extrapolates from the mean compute time of simulated jobs; with no
+// computed job yet (all hits so far) there is nothing to extrapolate.
+func (r *Reporter) eta() (time.Duration, bool) {
+	remaining := r.total - r.done
+	if remaining <= 0 || r.computed == 0 {
+		return 0, remaining > 0
+	}
+	perJob := time.Duration(r.computeNS / int64(r.computed))
+	return perJob * time.Duration(remaining) / time.Duration(r.workers), true
+}
+
+func (r *Reporter) finish(sum *Summary) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fmt.Fprintf(r.w, "sweep: done: %d ok (%d cache hits), %d failed in %v\n",
+		sum.OK, sum.CacheHits, sum.Failed, sum.Elapsed.Round(time.Millisecond))
+}
+
+func fmtMS(ms int64) string {
+	return (time.Duration(ms) * time.Millisecond).String()
+}
+
+func digits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// RecordSchema identifies the on-disk job-record wire format.
+const RecordSchema = "dsre-sweep-record/v1"
+
+// Record is one cached job result: the spec that produced it, the stamps
+// that scope its validity, and the dsre-report/v1 payload.
+type Record struct {
+	Schema     string            `json:"schema"`
+	Hash       string            `json:"hash"`
+	SimVersion string            `json:"sim_version"`
+	Spec       JobSpec           `json:"spec"`
+	Report     *telemetry.Report `json:"report"`
+}
+
+// Store is a content-addressed on-disk result cache: each record lives at
+// <dir>/objects/<hash[:2]>/<hash>.json.  Writes are atomic (temp file +
+// rename) and first-write-wins, so concurrent sweeps sharing a cache
+// directory are safe and cached payloads are byte-stable.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a cache rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty store directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) objectPath(hash string) string {
+	return filepath.Join(st.dir, "objects", hash[:2], hash+".json")
+}
+
+// Get loads the record for a hash.  A missing, unreadable, corrupt or
+// stale-versioned record is a cache miss (nil, nil), never an error: the
+// engine recomputes and overwrites, which is always safe for a
+// content-addressed key.
+func (st *Store) Get(hash string) (*Record, error) {
+	if len(hash) < 2 {
+		return nil, fmt.Errorf("sweep: malformed hash %q", hash)
+	}
+	data, err := os.ReadFile(st.objectPath(hash))
+	if err != nil {
+		return nil, nil
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, nil
+	}
+	if rec.Schema != RecordSchema || rec.Hash != hash || rec.SimVersion != sim.Version || rec.Report == nil {
+		return nil, nil
+	}
+	return &rec, nil
+}
+
+// Put stores a record under its hash.  An existing object is left
+// untouched (its bytes are already the content the hash names), so a
+// record once written never changes on disk.
+func (st *Store) Put(rec *Record) error {
+	if len(rec.Hash) < 2 {
+		return fmt.Errorf("sweep: malformed hash %q", rec.Hash)
+	}
+	rec.Schema = RecordSchema
+	rec.SimVersion = sim.Version
+	path := st.objectPath(rec.Hash)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("sweep: put %s: %w", rec.Hash, err)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal %s: %w", rec.Hash, err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+rec.Hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: put %s: %w", rec.Hash, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: put %s: %w", rec.Hash, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: put %s: %w", rec.Hash, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: put %s: %w", rec.Hash, err)
+	}
+	return nil
+}
+
+// Len counts the objects in the store (for tests and the CLI's summary).
+func (st *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(filepath.Join(st.dir, "objects"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -21,6 +21,12 @@ type Report struct {
 	Schema   string `json:"schema"`
 	Workload string `json:"workload"`
 	Scheme   string `json:"scheme"`
+	// Size, Unroll and Seed are the workload's effective parameters, so a
+	// directory of sweep-point reports is self-describing.  Omitted by
+	// writers that predate them.
+	Size   int    `json:"size,omitempty"`
+	Unroll int    `json:"unroll,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
 
 	Cycles int64   `json:"cycles"`
 	Insts  int64   `json:"insts"`

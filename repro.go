@@ -22,6 +22,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -99,6 +100,12 @@ type Config struct {
 type Result struct {
 	Workload string
 	Scheme   string
+	// Size, Unroll and Seed are the workload's effective parameters (the
+	// kernel defaults when the Config left them zero), so artifacts are
+	// self-describing when many sweep points share a workload name.
+	Size   int
+	Unroll int
+	Seed   uint64
 
 	Cycles int64
 	Insts  int64 // architecturally committed instructions (golden count)
@@ -127,6 +134,9 @@ func (r *Result) Report() *telemetry.Report {
 		Schema:      telemetry.ReportSchema,
 		Workload:    r.Workload,
 		Scheme:      r.Scheme,
+		Size:        r.Size,
+		Unroll:      r.Unroll,
+		Seed:        r.Seed,
 		Cycles:      r.Cycles,
 		Insts:       r.Insts,
 		IPC:         r.IPC,
@@ -175,6 +185,34 @@ func ParseScheme(name string) (core.IssuePolicy, core.RecoveryScheme, error) {
 	return 0, 0, fmt.Errorf("unknown scheme %q (have %v)", name, Schemes())
 }
 
+// CanonicalScheme resolves a scheme name (including aliases and the empty
+// default) to the canonical name reported by Schemes().  Two names that
+// select the same (policy, recovery) pair canonicalise identically, which
+// is what makes scheme names safe inside content-addressed cache keys.
+func CanonicalScheme(name string) (string, error) {
+	policy, recovery, err := ParseScheme(name)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case policy == core.IssueConservative && recovery == core.RecoverFlush:
+		return "conservative", nil
+	case policy == core.IssueConservative && recovery == core.RecoverDSRE:
+		return "conservative+dsre", nil
+	case policy == core.IssueAggressive && recovery == core.RecoverFlush:
+		return "aggressive+flush", nil
+	case policy == core.IssueAggressive && recovery == core.RecoverDSRE:
+		return "dsre", nil
+	case policy == core.IssueStoreSet && recovery == core.RecoverFlush:
+		return "storeset+flush", nil
+	case policy == core.IssueStoreSet && recovery == core.RecoverDSRE:
+		return "storeset+dsre", nil
+	case policy == core.IssueOracle:
+		return "oracle", nil
+	}
+	return "", fmt.Errorf("repro: no canonical name for scheme %q", name)
+}
+
 // Workloads returns the registered kernel names.
 func Workloads() []string { return workload.Names() }
 
@@ -188,11 +226,13 @@ func DefaultMachine() sim.Config { return sim.DefaultConfig() }
 // configured machine, verifies the architectural results match, and returns
 // the measurements.
 func Run(cfg Config) (*Result, error) {
-	scheme := cfg.Scheme
-	if scheme == "" {
-		scheme = "dsre"
-	}
-	policy, recovery, err := ParseScheme(scheme)
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: cancellation or a deadline stops an
+// in-flight simulation at a cycle boundary (see sim.Machine.RunContext).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	scheme, policy, recovery, err := schemeOf(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +252,89 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runVerified(ctx, cfg, scheme, policy, recovery, w, golden)
+}
 
+// Prepared is a built workload plus its golden-model run, collected with
+// both the dependence oracle and the committed block trace so that every
+// scheme and block predictor can simulate from it.  A Prepared is
+// read-only once built (the emulator and simulator clone all mutable
+// state), so one Prepared may back many concurrent RunPrepared calls —
+// the sweep engine memoizes them so the schemes of one experiment share a
+// single program build and emulator run.
+type Prepared struct {
+	Workload *workload.Workload
+	Golden   *emu.Result
+}
+
+// Prepare builds a workload and runs the golden model once, for reuse
+// across many RunPrepared calls.  Size, unroll and seed follow Config
+// semantics (zero means the kernel default).
+func Prepare(name string, size, unroll int, seed uint64) (*Prepared, error) {
+	if name == "" {
+		return nil, fmt.Errorf("repro: no workload selected (have %v)", Workloads())
+	}
+	w, err := workload.Build(name, workload.Params{Size: size, Unroll: unroll, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	golden, err := w.RunEmulator(emu.Options{CollectOracle: true, TraceBlocks: 1 << 30})
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Workload: w, Golden: golden}, nil
+}
+
+// RunPrepared simulates cfg against an already-prepared workload.  The
+// prepared workload must have been built from the same kernel and
+// parameters as cfg; mismatches are rejected rather than silently
+// measuring the wrong point.
+func RunPrepared(ctx context.Context, cfg Config, p *Prepared) (*Result, error) {
+	scheme, policy, recovery, err := schemeOf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workload != p.Workload.Name {
+		return nil, fmt.Errorf("repro: prepared workload %q does not match config workload %q", p.Workload.Name, cfg.Workload)
+	}
+	wp := p.Workload.Params
+	if cfg.Size != 0 && cfg.Size != wp.Size {
+		return nil, fmt.Errorf("repro: prepared %s size %d does not match config size %d", p.Workload.Name, wp.Size, cfg.Size)
+	}
+	// An over-large requested unroll is clamped by the kernel builder, so
+	// the prepared unroll may legitimately sit below the requested one —
+	// only a larger prepared unroll proves a mismatch.
+	if cfg.Unroll != 0 && wp.Unroll > cfg.Unroll {
+		return nil, fmt.Errorf("repro: prepared %s unroll %d does not match config unroll %d", p.Workload.Name, wp.Unroll, cfg.Unroll)
+	}
+	if cfg.Seed != 0 && cfg.Seed != wp.Seed {
+		return nil, fmt.Errorf("repro: prepared %s seed %d does not match config seed %d", p.Workload.Name, wp.Seed, cfg.Seed)
+	}
+	return runVerified(ctx, cfg, scheme, policy, recovery, p.Workload, p.Golden)
+}
+
+// schemeOf resolves the Config's scheme name to its (policy, recovery).
+func schemeOf(cfg Config) (string, core.IssuePolicy, core.RecoveryScheme, error) {
+	scheme := cfg.Scheme
+	if scheme == "" {
+		scheme = "dsre"
+	}
+	policy, recovery, err := ParseScheme(scheme)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return scheme, policy, recovery, nil
+}
+
+// MachineConfig derives the simulator configuration this Config selects:
+// the default TRIPS-like machine with the Config's overrides applied.
+// Together with sim.Config.Canonical this gives the sweep engine a stable,
+// fully-explicit machine description to hash.
+func (cfg Config) MachineConfig() (sim.Config, error) {
+	policy, recovery, err := ParseScheme(cfg.Scheme)
+	if err != nil {
+		return sim.Config{}, err
+	}
 	sc := sim.DefaultConfig()
 	sc.Policy = policy
 	sc.Recovery = recovery
@@ -253,7 +375,7 @@ func Run(cfg Config) (*Result, error) {
 	case "chain":
 		sc.Placement = sim.PlaceChain
 	default:
-		return nil, fmt.Errorf("repro: unknown placement %q (roundrobin, chain)", cfg.Placement)
+		return sim.Config{}, fmt.Errorf("repro: unknown placement %q (roundrobin, chain)", cfg.Placement)
 	}
 	switch cfg.BlockPredictor {
 	case "", "twolevel":
@@ -264,8 +386,21 @@ func Run(cfg Config) (*Result, error) {
 		sc.BlockPred = sim.PredPerfect
 		sc.PerfectBlockPred = true
 	default:
-		return nil, fmt.Errorf("repro: unknown block predictor %q (twolevel, last, perfect)", cfg.BlockPredictor)
+		return sim.Config{}, fmt.Errorf("repro: unknown block predictor %q (twolevel, last, perfect)", cfg.BlockPredictor)
 	}
+	return sc, nil
+}
+
+// runVerified simulates one configuration against a built workload and its
+// golden-model run, verifies the architectural results match, and returns
+// the measurements.
+func runVerified(ctx context.Context, cfg Config, scheme string, policy core.IssuePolicy, recovery core.RecoveryScheme, w *workload.Workload, golden *emu.Result) (*Result, error) {
+	sc, err := cfg.MachineConfig()
+	if err != nil {
+		return nil, err
+	}
+	sc.Policy = policy
+	sc.Recovery = recovery
 
 	mc, err := sim.New(sc, w.Program, &w.Regs, w.Mem, golden.Oracle, golden.BlockTrace)
 	if err != nil {
@@ -281,7 +416,7 @@ func Run(cfg Config) (*Result, error) {
 		sampler = telemetry.NewSampler(0)
 		mc.SetSampler(int64(cfg.SampleEvery), sampler)
 	}
-	sr, err := mc.Run()
+	sr, err := mc.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("repro: %s/%s: %w", cfg.Workload, scheme, err)
 	}
@@ -307,6 +442,9 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{
 		Workload:    cfg.Workload,
 		Scheme:      scheme,
+		Size:        w.Params.Size,
+		Unroll:      w.Params.Unroll,
+		Seed:        w.Params.Seed,
 		Cycles:      sr.Stats.Cycles,
 		Insts:       golden.Insts,
 		IPC:         float64(golden.Insts) / float64(sr.Stats.Cycles),
