@@ -1,0 +1,105 @@
+// Command dsre-lint runs the repository's static-analysis suite (package
+// internal/lint): determinism, confighash, statscoverage and exhaustive.
+//
+// Usage:
+//
+//	dsre-lint [-C dir] [-json] [./...]
+//
+// Exit status: 0 when the tree is clean, 1 when diagnostics were found (or
+// a configured anchor is missing, which would silently disable a check),
+// 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+// Schema identifies the -json wire format.
+const Schema = "dsre-lint/v1"
+
+type jsonOutput struct {
+	Schema  string      `json:"schema"`
+	Diags   []lint.Diag `json:"diagnostics"`
+	Missing []string    `json:"missing_anchors,omitempty"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsre-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory inside the module to lint")
+	jsonOut := fs.Bool("json", false, "emit machine-readable "+Schema+" JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: dsre-lint [-C dir] [-json] [./...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	for _, pat := range fs.Args() {
+		// The suite always audits the whole module; only whole-module
+		// patterns are meaningful.
+		if pat != "./..." && pat != "." && pat != "all" {
+			fmt.Fprintf(stderr, "dsre-lint: unsupported pattern %q (the suite lints the whole module; use ./...)\n", pat)
+			return 2
+		}
+	}
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsre-lint: %v\n", err)
+		return 2
+	}
+	mod, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsre-lint: %v\n", err)
+		return 2
+	}
+	res := lint.Run(mod, lint.DefaultConfig())
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOutput{Schema: Schema, Diags: res.Diags, Missing: res.Missing}); err != nil {
+			fmt.Fprintf(stderr, "dsre-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Fprintln(stdout, d)
+		}
+		for _, m := range res.Missing {
+			fmt.Fprintf(stderr, "dsre-lint: missing anchor: %s (its checks were skipped)\n", m)
+		}
+	}
+	if len(res.Diags) > 0 || len(res.Missing) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the nearest directory with a go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}

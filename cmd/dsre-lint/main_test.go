@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", name)
+}
+
+// TestViolationFixturesExitNonZero: every *_bad fixture module must fail
+// the lint.
+func TestViolationFixturesExitNonZero(t *testing.T) {
+	for _, name := range []string{"determinism_bad", "confighash_bad", "statscoverage_bad", "exhaustive_bad"} {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			code := run([]string{"-C", fixture(name), "./..."}, &out, io.Discard)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1; output:\n%s", code, out.String())
+			}
+			if out.Len() == 0 {
+				t.Fatalf("no diagnostics printed")
+			}
+		})
+	}
+}
+
+// TestShippedTreeIsClean: dsre-lint ./... exits 0 on the repository itself.
+func TestShippedTreeIsClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-C", filepath.Join("..", ".."), "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+}
+
+// TestJSONMode: -json emits parseable dsre-lint/v1 with the diagnostics.
+func TestJSONMode(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-C", fixture("exhaustive_bad"), "-json", "./..."}, &out, io.Discard)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var payload struct {
+		Schema string `json:"schema"`
+		Diags  []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &payload); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, out.String())
+	}
+	if payload.Schema != Schema {
+		t.Fatalf("schema = %q, want %q", payload.Schema, Schema)
+	}
+	if len(payload.Diags) != 1 || payload.Diags[0].Analyzer != "exhaustive" ||
+		!strings.Contains(payload.Diags[0].Message, "msgBranch") {
+		t.Fatalf("unexpected diagnostics: %+v", payload.Diags)
+	}
+}
+
+// TestBadPatternRejected: only whole-module patterns are meaningful.
+func TestBadPatternRejected(t *testing.T) {
+	code := run([]string{"./internal/sim"}, io.Discard, io.Discard)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

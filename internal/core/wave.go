@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/stats"
+import (
+	"slices"
+
+	"repro/internal/stats"
+)
 
 // WaveStats attributes re-executed instructions to the mis-speculation wave
 // that caused them.  Because instruction outputs carry the maximum of their
@@ -39,8 +43,13 @@ func (w *WaveStats) Reexecuted(tag Tag) {
 // SizeHist returns the histogram of wave sizes (re-executed instructions
 // per injected wave).
 func (w *WaveStats) SizeHist() *stats.Hist {
+	sizes := make([]int64, 0, len(w.perWave))
+	for _, n := range w.perWave { //lint:ordered — appends to sizes, which is sorted below
+		sizes = append(sizes, n)
+	}
+	slices.Sort(sizes)
 	h := &stats.Hist{}
-	for _, n := range w.perWave {
+	for _, n := range sizes {
 		h.Add(n)
 	}
 	return h

@@ -79,12 +79,15 @@ const (
 // String returns "", "_t" or "_f" (assembler suffix style).
 func (p PredMode) String() string {
 	switch p {
+	case PredNone:
+		return ""
 	case PredTrue:
 		return "_t"
 	case PredFalse:
 		return "_f"
+	default:
+		return ""
 	}
-	return ""
 }
 
 // NoLSID marks non-memory instructions.

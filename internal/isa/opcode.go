@@ -126,8 +126,10 @@ func (op Opcode) MemSize() int {
 		return 8
 	case OpLd1, OpSt1:
 		return 1
+	default:
+		// Every non-memory opcode: no access width.
+		return 0
 	}
-	return 0
 }
 
 // ProducesValue reports whether the opcode delivers a result to dataflow
@@ -192,8 +194,11 @@ func Eval(op Opcode, a, b, imm int64) int64 {
 		return btoi(a >= b)
 	case OpTltu:
 		return btoi(uint64(a) < uint64(b))
+	default:
+		// Memory, branch and nop opcodes have no arithmetic result; their
+		// semantics live in the LSQ and control-tile paths.
+		return 0
 	}
-	return 0
 }
 
 func btoi(b bool) int64 {

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+const confighashName = "confighash"
+
+// confighash guards the sweep engine's content-addressed cache key.  The
+// key is SHA-256 over the canonical JSON encoding of the job spec and the
+// full machine Config, so a knob escapes the hash in exactly three ways:
+// the field doesn't survive JSON (unexported, `json:"-"`, unencodable),
+// the sweep hash payload stops carrying the Config, or a JobSpec field is
+// never folded into the payload.  All three poison cached results.
+func confighash(p *pass) {
+	simPkg := p.mod.Lookup(p.cfg.SimPkg)
+	if simPkg == nil {
+		p.missingAnchor("package " + p.cfg.SimPkg)
+		return
+	}
+	cfgNamed := lookupNamed(simPkg, p.cfg.ConfigType)
+	if cfgNamed == nil {
+		p.missingAnchor(p.cfg.SimPkg + "." + p.cfg.ConfigType)
+		return
+	}
+	p.checkJSONStruct(confighashName, "the sweep cache hash", p.cfg.ConfigType, cfgNamed, nil)
+	p.checkCanonical(cfgNamed)
+	p.checkHashPayload(cfgNamed)
+	p.checkSpecFold()
+}
+
+// lookupNamed resolves a (possibly unexported) package-scope type name.
+func lookupNamed(pkg *Package, name string) *types.Named {
+	obj := pkg.Types.Scope().Lookup(name)
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := types.Unalias(tn.Type()).(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named
+}
+
+// hasMethod reports whether t (or *t) has a method with the given name.
+func hasMethod(t types.Type, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, nil, name)
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// checkJSONStruct reports every field of the named struct (recursively
+// through anonymous structs and module-declared named structs without a
+// custom marshaller) that would not survive encoding/json — and therefore
+// would silently vanish from `sink` (a hash input or a report payload).
+func (p *pass) checkJSONStruct(analyzer, sink, display string, named *types.Named, seen map[*types.Named]bool) {
+	if seen == nil {
+		seen = map[*types.Named]bool{}
+	}
+	if seen[named] {
+		return
+	}
+	seen[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	p.checkJSONFields(analyzer, sink, display, st, seen)
+}
+
+func (p *pass) checkJSONFields(analyzer, sink, display string, st *types.Struct, seen map[*types.Named]bool) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fname := display + "." + f.Name()
+		if !f.Exported() {
+			p.reportf(analyzer, f.Pos(),
+				"field %s is unexported — encoding/json drops it, so it never reaches %s", fname, sink)
+			continue
+		}
+		if tag := reflect.StructTag(st.Tag(i)).Get("json"); tag == "-" {
+			p.reportf(analyzer, f.Pos(),
+				"field %s is tagged json:\"-\" — it never reaches %s", fname, sink)
+			continue
+		}
+		ft := f.Type()
+		if ptr, ok := types.Unalias(ft).(*types.Pointer); ok {
+			ft = ptr.Elem()
+		}
+		switch u := ft.Underlying().(type) {
+		case *types.Signature, *types.Chan:
+			p.reportf(analyzer, f.Pos(),
+				"field %s has type %s, which encoding/json cannot encode — it never reaches %s",
+				fname, types.TypeString(f.Type(), types.RelativeTo(f.Pkg())), sink)
+		case *types.Struct:
+			if fn, ok := types.Unalias(ft).(*types.Named); ok {
+				if p.moduleDeclared(fn) && !hasMethod(fn, "MarshalJSON") {
+					p.checkJSONStruct(analyzer, sink, fname, fn, seen)
+				}
+			} else {
+				// Anonymous inline struct: its fields marshal in place.
+				p.checkJSONFields(analyzer, sink, fname, u, seen)
+			}
+		}
+	}
+}
+
+// moduleDeclared reports whether the named type is declared inside the
+// module under audit (stdlib types are assumed to marshal sensibly).
+func (p *pass) moduleDeclared(named *types.Named) bool {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == p.mod.Path || strings.HasPrefix(pkg.Path(), p.mod.Path+"/")
+}
+
+// checkCanonical requires a value-receiver Canonical() method returning the
+// Config type itself — the normalisation step the hash is computed over.
+func (p *pass) checkCanonical(cfgNamed *types.Named) {
+	for i := 0; i < cfgNamed.NumMethods(); i++ {
+		m := cfgNamed.Method(i)
+		if m.Name() != p.cfg.CanonicalMethod {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+			p.reportf(confighashName, m.Pos(),
+				"%s.%s must use a value receiver so hashing cannot mutate the caller's Config",
+				p.cfg.ConfigType, p.cfg.CanonicalMethod)
+			return
+		}
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 ||
+			!types.Identical(sig.Results().At(0).Type(), cfgNamed) {
+			p.reportf(confighashName, m.Pos(),
+				"%s.%s must have signature func() %s to act as the hash normaliser",
+				p.cfg.ConfigType, p.cfg.CanonicalMethod, p.cfg.ConfigType)
+		}
+		return
+	}
+	p.reportf(confighashName, cfgNamed.Obj().Pos(),
+		"%s has no %s() method — the sweep cache key needs a canonical form to hash",
+		p.cfg.ConfigType, p.cfg.CanonicalMethod)
+}
+
+// checkHashPayload requires the sweep hash payload to carry a field of the
+// machine Config type: drop it and every machine knob leaves the cache key.
+func (p *pass) checkHashPayload(cfgNamed *types.Named) {
+	sweepPkg := p.mod.Lookup(p.cfg.SweepPkg)
+	if sweepPkg == nil {
+		p.missingAnchor("package " + p.cfg.SweepPkg)
+		return
+	}
+	payload := lookupNamed(sweepPkg, p.cfg.HashPayloadType)
+	if payload == nil {
+		p.missingAnchor(p.cfg.SweepPkg + "." + p.cfg.HashPayloadType)
+		return
+	}
+	st, ok := payload.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if types.Identical(st.Field(i).Type(), cfgNamed) {
+			return
+		}
+	}
+	p.reportf(confighashName, payload.Obj().Pos(),
+		"%s has no field of type %s.%s — the machine configuration would not reach the cache key",
+		p.cfg.HashPayloadType, p.cfg.SimPkg, p.cfg.ConfigType)
+}
+
+// checkSpecFold requires every exported JobSpec field to be read by at
+// least one of the fold methods (Config/Hash/Canonical): a spec knob that
+// none of them touches cannot influence the cache key.
+func (p *pass) checkSpecFold() {
+	sweepPkg := p.mod.Lookup(p.cfg.SweepPkg)
+	if sweepPkg == nil {
+		return // already recorded by checkHashPayload
+	}
+	spec := lookupNamed(sweepPkg, p.cfg.SpecType)
+	if spec == nil {
+		p.missingAnchor(p.cfg.SweepPkg + "." + p.cfg.SpecType)
+		return
+	}
+	st, ok := spec.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fields := map[*types.Var]bool{} // field object -> folded?
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() {
+			fields[f] = false
+		}
+	}
+	foldNames := map[string]bool{}
+	for _, n := range p.cfg.SpecFoldMethods {
+		foldNames[n] = true
+	}
+	for _, f := range sweepPkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !foldNames[fd.Name.Name] {
+				continue
+			}
+			if recvTypeName(fd) != p.cfg.SpecType {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := p.mod.Info.Selections[sel]
+				if !ok {
+					return true
+				}
+				if v, ok := s.Obj().(*types.Var); ok {
+					if _, tracked := fields[v]; tracked {
+						fields[v] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if folded, tracked := fields[f]; tracked && !folded {
+			p.reportf(confighashName, f.Pos(),
+				"exported field %s.%s is not read by %s — the knob never reaches the cache hash",
+				p.cfg.SpecType, f.Name(), strings.Join(p.cfg.SpecFoldMethods, "/"))
+		}
+	}
+}
+
+// recvTypeName returns the bare receiver type name of a method decl.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

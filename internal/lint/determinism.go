@@ -1,0 +1,393 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const determinismName = "determinism"
+
+// bannedTimeFuncs are wall-clock (or scheduler-coupled) time functions: a
+// simulator result must be a function of Config + seed, never of when or
+// where it ran.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+// bannedRandFuncs are the math/rand (and v2) package-level functions backed
+// by the shared, non-deterministically seeded global source.  Explicitly
+// seeded generators (rand.New(rand.NewSource(seed))) remain available.
+var bannedRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Uint32": true, "Uint64": true, "Float32": true,
+	"Float64": true, "ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// determinism forbids wall-clock reads, unseeded math/rand, goroutine
+// spawns and order-dependent map iteration in the simulator packages.
+// A `//lint:ordered` comment on (or immediately above) a range statement
+// asserts the iteration is order-independent or explicitly normalised.
+func determinism(p *pass) {
+	for _, rel := range p.cfg.DeterminismPkgs {
+		pkg := p.mod.Lookup(rel)
+		if pkg == nil {
+			// Recorded so a package rename cannot silently disable the
+			// audit on the real tree; fixture modules tolerate the gap.
+			p.missingAnchor("package " + rel)
+			continue
+		}
+		for _, f := range pkg.Files {
+			ordered := orderedAnnotations(p.mod.Fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					p.reportf(determinismName, n.Pos(),
+						"goroutine spawn in simulator package %s — concurrency makes cycle results scheduling-dependent", rel)
+				case *ast.SelectorExpr:
+					p.checkBannedSelector(n)
+				case *ast.RangeStmt:
+					p.checkMapRange(n, ordered)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkBannedSelector flags pkg.Func selections of banned time and
+// math/rand functions (used as calls or as values).
+func (p *pass) checkBannedSelector(sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := p.mod.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if bannedTimeFuncs[sel.Sel.Name] {
+			p.reportf(determinismName, sel.Pos(),
+				"call to time.%s — simulator state must be a function of Config + seed, not wall-clock time", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if bannedRandFuncs[sel.Sel.Name] {
+			p.reportf(determinismName, sel.Pos(),
+				"rand.%s uses the global unseeded source — build an explicit rand.New(rand.NewSource(seed)) instead", sel.Sel.Name)
+		}
+	}
+}
+
+// orderedAnnotations returns the set of lines carrying a //lint:ordered
+// comment.  A range statement is annotated when the comment sits on its own
+// line or the line directly above.
+func orderedAnnotations(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "lint:ordered") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// checkMapRange flags `range` over a map whose loop body has effects that
+// depend on iteration order (Go randomises map order per run).
+func (p *pass) checkMapRange(rs *ast.RangeStmt, ordered map[int]bool) {
+	tv, ok := p.mod.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	line := p.mod.Fset.Position(rs.Pos()).Line
+	if ordered[line] || ordered[line-1] {
+		return
+	}
+	chk := &mapRangeChecker{pass: p, rs: rs, locals: map[types.Object]bool{}}
+	if keyObj := chk.rangeVarObj(rs.Key); keyObj != nil {
+		chk.keyObj = keyObj
+		chk.locals[keyObj] = true
+	}
+	if valObj := chk.rangeVarObj(rs.Value); valObj != nil {
+		chk.locals[valObj] = true
+	}
+	if reason := chk.checkStmt(rs.Body); reason != "" {
+		p.reportf(determinismName, rs.Pos(),
+			"iteration over map %s with order-dependent effects (%s) — sort the keys, or annotate //lint:ordered with a justification",
+			types.ExprString(rs.X), reason)
+	}
+}
+
+// mapRangeChecker conservatively classifies a map-range body: only
+// provably order-independent statement forms are allowed.
+type mapRangeChecker struct {
+	pass   *pass
+	rs     *ast.RangeStmt
+	keyObj types.Object
+	locals map[types.Object]bool
+}
+
+func (c *mapRangeChecker) rangeVarObj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return c.pass.mod.Info.Defs[id]
+}
+
+// checkStmt returns "" when the statement is order-independent, else a
+// short reason.
+func (c *mapRangeChecker) checkStmt(s ast.Stmt) string {
+	switch s := s.(type) {
+	case nil:
+		return ""
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if r := c.checkStmt(st); r != "" {
+				return r
+			}
+		}
+		return ""
+	case *ast.AssignStmt:
+		return c.checkAssign(s)
+	case *ast.IncDecStmt:
+		// Increments/decrements commute regardless of the target.
+		return c.exprSafe(s.X)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR && gd.Tok != token.CONST {
+			return "declaration"
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if obj := c.pass.mod.Info.Defs[name]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+			for _, v := range vs.Values {
+				if r := c.exprSafe(v); r != "" {
+					return r
+				}
+			}
+		}
+		return ""
+	case *ast.IfStmt:
+		if r := c.checkStmt(s.Init); r != "" {
+			return r
+		}
+		if r := c.exprSafe(s.Cond); r != "" {
+			return r
+		}
+		if r := c.checkStmt(s.Body); r != "" {
+			return r
+		}
+		return c.checkStmt(s.Else)
+	case *ast.ForStmt:
+		if r := c.checkStmt(s.Init); r != "" {
+			return r
+		}
+		if s.Cond != nil {
+			if r := c.exprSafe(s.Cond); r != "" {
+				return r
+			}
+		}
+		if r := c.checkStmt(s.Post); r != "" {
+			return r
+		}
+		return c.checkStmt(s.Body)
+	case *ast.RangeStmt:
+		if r := c.exprSafe(s.X); r != "" {
+			return r
+		}
+		for _, v := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := v.(*ast.Ident); ok {
+				if obj := c.pass.mod.Info.Defs[id]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+		}
+		return c.checkStmt(s.Body)
+	case *ast.SwitchStmt:
+		if r := c.checkStmt(s.Init); r != "" {
+			return r
+		}
+		if s.Tag != nil {
+			if r := c.exprSafe(s.Tag); r != "" {
+				return r
+			}
+		}
+		for _, cc := range s.Body.List {
+			clause := cc.(*ast.CaseClause)
+			for _, e := range clause.List {
+				if r := c.exprSafe(e); r != "" {
+					return r
+				}
+			}
+			for _, st := range clause.Body {
+				if r := c.checkStmt(st); r != "" {
+					return r
+				}
+			}
+		}
+		return ""
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return ""
+		}
+		return "order-dependent early exit (" + s.Tok.String() + ")"
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && c.isRangedMapDelete(call) {
+			return ""
+		}
+		return c.exprSafe(s.X)
+	case *ast.ReturnStmt:
+		return "return from inside the iteration"
+	default:
+		return "statement with order-dependent effects"
+	}
+}
+
+// checkAssign allows per-key writes, writes to loop locals, and commutative
+// integer accumulation; everything else escapes in iteration order.
+func (c *mapRangeChecker) checkAssign(s *ast.AssignStmt) string {
+	for _, rhs := range s.Rhs {
+		if r := c.exprSafe(rhs); r != "" {
+			return r
+		}
+	}
+	switch s.Tok {
+	case token.DEFINE:
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := c.pass.mod.Info.Defs[id]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+		}
+		return ""
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		// Commutative and associative over integers (floats are not: their
+		// rounding makes accumulation order-visible).
+		for _, lhs := range s.Lhs {
+			if !c.isIntegerOrBool(lhs) {
+				return "non-integer accumulation"
+			}
+			if r := c.exprSafe(lhs); r != "" {
+				return r
+			}
+		}
+		return ""
+	case token.ASSIGN:
+		for _, lhs := range s.Lhs {
+			if r := c.checkPlainAssignTarget(lhs); r != "" {
+				return r
+			}
+		}
+		return ""
+	default:
+		return "accumulation with order-dependent operator " + s.Tok.String()
+	}
+}
+
+func (c *mapRangeChecker) checkPlainAssignTarget(lhs ast.Expr) string {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return ""
+		}
+		if obj := c.pass.mod.Info.Uses[lhs]; obj != nil && c.locals[obj] {
+			return ""
+		}
+		return "assignment to " + lhs.Name + " declared outside the loop"
+	case *ast.IndexExpr:
+		// Writing element [k] for the range key k touches a distinct slot
+		// per iteration: order-independent.
+		if id, ok := lhs.Index.(*ast.Ident); ok && c.keyObj != nil &&
+			c.pass.mod.Info.Uses[id] == c.keyObj {
+			return c.exprSafe(lhs.X)
+		}
+		return "indexed write not keyed by the range key"
+	default:
+		return "assignment to " + types.ExprString(lhs)
+	}
+}
+
+// isRangedMapDelete recognises delete(m, k) on the ranged map with the
+// range key, which Go defines as safe and is order-independent.
+func (c *mapRangeChecker) isRangedMapDelete(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if b, ok := c.pass.mod.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "delete" {
+		return false
+	}
+	if types.ExprString(call.Args[0]) != types.ExprString(c.rs.X) {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && c.keyObj != nil && c.pass.mod.Info.Uses[arg] == c.keyObj
+}
+
+func (c *mapRangeChecker) isIntegerOrBool(e ast.Expr) bool {
+	tv, ok := c.pass.mod.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// exprSafe rejects expressions whose evaluation could observe or leak
+// iteration order: any function call (conversions and len/cap/min/max are
+// fine) and channel operations.
+func (c *mapRangeChecker) exprSafe(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	var reason string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := c.pass.mod.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := c.pass.mod.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "len", "cap", "min", "max", "delete":
+						return true
+					}
+				}
+			}
+			reason = "call to " + types.ExprString(n.Fun)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reason = "channel receive"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}

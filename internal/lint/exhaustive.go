@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+const exhaustiveName = "exhaustive"
+
+// enumSet is one audited enum: the named type plus its declared members,
+// grouped by constant value (two names with one value are one member).
+type enumSet struct {
+	display string // "relpkg.TypeName" as configured
+	named   *types.Named
+	byValue map[string][]string // exact constant value -> member names
+}
+
+// exhaustive requires every switch over a configured enum type to either
+// cover all declared members or carry an explicit default.  The protocol
+// dispatch switches (message kinds, opcodes, recovery schemes) silently
+// drop work when a new member is added but a switch is not extended.
+func exhaustive(p *pass) {
+	var enums []*enumSet
+	byType := map[*types.Named]*enumSet{}
+	for _, entry := range p.cfg.EnumTypes {
+		dot := strings.LastIndex(entry, ".")
+		if dot < 0 {
+			p.missingAnchor("malformed enum entry " + entry)
+			continue
+		}
+		rel, name := entry[:dot], entry[dot+1:]
+		pkg := p.mod.Lookup(rel)
+		if pkg == nil {
+			p.missingAnchor("package " + rel)
+			continue
+		}
+		named := lookupNamed(pkg, name)
+		if named == nil {
+			p.missingAnchor(entry)
+			continue
+		}
+		es := &enumSet{display: entry, named: named, byValue: map[string][]string{}}
+		collectMembers(pkg, es)
+		if len(es.byValue) == 0 {
+			p.missingAnchor(entry + " (no constant members)")
+			continue
+		}
+		enums = append(enums, es)
+		byType[named] = es
+	}
+	if len(enums) == 0 {
+		return
+	}
+	for _, pkg := range p.mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := p.mod.Info.Types[sw.Tag]
+				if !ok {
+					return true
+				}
+				named, ok := types.Unalias(tv.Type).(*types.Named)
+				if !ok {
+					return true
+				}
+				if es := byType[named]; es != nil {
+					p.checkSwitch(sw, es)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectMembers gathers the package-scope constants of the enum's exact
+// type.  Sentinel bounds (numX/NumX/maxX/MaxX/minX/MinX) delimit the set
+// rather than belong to it, so they are excluded.
+func collectMembers(pkg *Package, es *enumSet) {
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || sentinelName(name) {
+			continue
+		}
+		if !types.Identical(types.Unalias(c.Type()), es.named) {
+			continue
+		}
+		key := c.Val().ExactString()
+		es.byValue[key] = append(es.byValue[key], name)
+	}
+}
+
+func sentinelName(name string) bool {
+	for _, prefix := range []string{"num", "Num", "max", "Max", "min", "Min"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSwitch reports the members a switch misses.  A default clause opts
+// the switch out (it states what happens to unlisted members); a
+// non-constant case expression makes coverage undecidable, so it opts out
+// too.
+func (p *pass) checkSwitch(sw *ast.SwitchStmt, es *enumSet) {
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		if clause.List == nil {
+			return // explicit default
+		}
+		for _, e := range clause.List {
+			tv, ok := p.mod.Info.Types[e]
+			if !ok || tv.Value == nil {
+				return // dynamic case: coverage is a runtime property here
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for val, names := range es.byValue { //lint:ordered — missing is sorted before reporting
+		if !covered[val] {
+			missing = append(missing, names[0])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	p.reportf(exhaustiveName, sw.Pos(),
+		"switch over %s misses %s — add the cases or an explicit default",
+		es.display, strings.Join(missing, ", "))
+}

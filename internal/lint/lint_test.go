@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata expect.txt goldens")
+
+// TestGolden pins every diagnostic each fixture module produces.  Fixtures
+// named *_bad must produce at least one diagnostic; the clean fixture must
+// produce none.
+func TestGolden(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			root := filepath.Join("testdata", name)
+			mod, err := Load(root)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			res := Run(mod, DefaultConfig())
+			var b strings.Builder
+			for _, d := range res.Diags {
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			golden := filepath.Join(root, "expect.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			if strings.HasSuffix(name, "_bad") && len(res.Diags) == 0 {
+				t.Errorf("violation fixture produced no diagnostics")
+			}
+			if !strings.HasSuffix(name, "_bad") && len(res.Diags) > 0 {
+				t.Errorf("clean fixture produced diagnostics:\n%s", got)
+			}
+		})
+	}
+}
+
+// TestSelfAudit asserts the shipped tree is lint-clean and that every
+// configured anchor resolves (a missing anchor would silently disable the
+// check that guards it).
+func TestSelfAudit(t *testing.T) {
+	mod, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res := Run(mod, DefaultConfig())
+	for _, d := range res.Diags {
+		t.Errorf("shipped tree: %s", d)
+	}
+	for _, m := range res.Missing {
+		t.Errorf("anchor %s not found — its checks were silently skipped", m)
+	}
+}

@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package of the loaded module.
+type Package struct {
+	// ImportPath is the full import path; RelPath is the path relative to
+	// the module root ("" for the root package itself).  Analyzers match
+	// packages by RelPath so the same configuration applies to the real
+	// module and to the miniature modules under testdata/.
+	ImportPath string
+	RelPath    string
+	Dir        string
+	Name       string
+
+	Files     []*ast.File
+	Filenames []string // parallel to Files
+
+	Types *types.Package
+
+	checking bool
+	imports  []string
+}
+
+// Module is a loaded, fully type-checked Go module: every non-test package
+// under the root, with one shared FileSet and types.Info.
+type Module struct {
+	Root string // absolute module root (directory holding go.mod)
+	Path string // module path from go.mod
+
+	Fset *token.FileSet
+	Info *types.Info
+
+	Pkgs   []*Package // sorted by import path
+	byPath map[string]*Package
+}
+
+// Lookup returns the package with the given module-relative path ("" is the
+// module root package), or nil.
+func (m *Module) Lookup(relPath string) *Package {
+	ip := m.Path
+	if relPath != "" {
+		ip = m.Path + "/" + relPath
+	}
+	return m.byPath[ip]
+}
+
+// Position renders a token position with the filename relative to the
+// module root (slash-separated), for stable diagnostics and goldens.
+func (m *Module) Position(pos token.Pos) token.Position {
+	p := m.Fset.Position(pos)
+	if rel, err := filepath.Rel(m.Root, p.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		p.Filename = filepath.ToSlash(rel)
+	}
+	return p
+}
+
+// stdImporter is the shared stdlib source importer.  Type-checking the
+// standard library from GOROOT source is slow, so every Load in the process
+// shares one importer (and its internal package cache) under a lock.
+var stdImporter struct {
+	sync.Mutex
+	imp types.ImporterFrom
+}
+
+func stdImport(path, dir string) (*types.Package, error) {
+	stdImporter.Lock()
+	defer stdImporter.Unlock()
+	if stdImporter.imp == nil {
+		// The source importer keeps its own FileSet; stdlib positions are
+		// never reported, so it need not be the module's.
+		imp, ok := importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom)
+		if !ok {
+			return nil, fmt.Errorf("lint: source importer unavailable")
+		}
+		stdImporter.imp = imp
+	}
+	return stdImporter.imp.ImportFrom(path, dir, 0)
+}
+
+// modImporter resolves module-internal imports by recursive loading and
+// everything else through the stdlib source importer.
+type modImporter struct {
+	m *Module
+}
+
+func (im *modImporter) Import(path string) (*types.Package, error) {
+	if path == im.m.Path || strings.HasPrefix(path, im.m.Path+"/") {
+		p := im.m.byPath[path]
+		if p == nil {
+			return nil, fmt.Errorf("lint: import %q: no such package in module %s", path, im.m.Path)
+		}
+		if err := im.m.check(p); err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return stdImport(path, im.m.Root)
+}
+
+// Load parses and type-checks every non-test package of the module rooted
+// at root (the directory containing go.mod).  Test files, testdata, vendor
+// and hidden directories are skipped; build constraints are evaluated for
+// the host platform with no extra tags, exactly as `go build ./...` would.
+func Load(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root: root,
+		Path: modPath,
+		Fset: token.NewFileSet(),
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+		byPath: make(map[string]*Package),
+	}
+	if err := m.discover(); err != nil {
+		return nil, err
+	}
+	for _, p := range m.Pkgs {
+		if err := m.check(p); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (not a module root?)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: %s has no module directive", gomod)
+}
+
+// discover walks the module tree, parsing every buildable non-test file.
+func (m *Module) discover() error {
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != m.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			// A nested module is its own world (only testdata modules in
+			// practice, which the testdata skip already covers).
+			if path != m.Root {
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		return m.addFile(path)
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range m.byPath {
+		m.Pkgs = append(m.Pkgs, p)
+	}
+	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].ImportPath < m.Pkgs[j].ImportPath })
+	return nil
+}
+
+func (m *Module) addFile(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !buildableFile(src) {
+		return nil
+	}
+	f, err := parser.ParseFile(m.Fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return fmt.Errorf("lint: parse: %w", err)
+	}
+	dir := filepath.Dir(path)
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return err
+	}
+	rel = filepath.ToSlash(rel)
+	ip := m.Path
+	if rel != "." {
+		ip = m.Path + "/" + rel
+	} else {
+		rel = ""
+	}
+	p := m.byPath[ip]
+	if p == nil {
+		p = &Package{ImportPath: ip, RelPath: rel, Dir: dir, Name: f.Name.Name}
+		m.byPath[ip] = p
+	}
+	if f.Name.Name != p.Name {
+		return fmt.Errorf("lint: %s: found packages %s and %s in one directory", dir, p.Name, f.Name.Name)
+	}
+	p.Files = append(p.Files, f)
+	p.Filenames = append(p.Filenames, path)
+	for _, imp := range f.Imports {
+		if ipath, err := strconv.Unquote(imp.Path.Value); err == nil {
+			p.imports = append(p.imports, ipath)
+		}
+	}
+	return nil
+}
+
+// buildableFile evaluates a file's //go:build constraint (if any) for the
+// host platform with no extra build tags — so e.g. the dsre_assert variants
+// resolve the same way they do under plain `go build`.
+func buildableFile(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return true // malformed constraint: let the type checker complain
+		}
+		return expr.Eval(func(tag string) bool {
+			return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+				strings.HasPrefix(tag, "go1")
+		})
+	}
+	return true
+}
+
+// check type-checks p (and, via the importer, its dependencies).
+func (m *Module) check(p *Package) error {
+	if p.Types != nil {
+		return nil
+	}
+	if p.checking {
+		return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+	}
+	p.checking = true
+	defer func() { p.checking = false }()
+
+	var errs []error
+	conf := types.Config{
+		Importer: &modImporter{m: m},
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(p.ImportPath, m.Fset, p.Files, m.Info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, 3)
+		for i, e := range errs {
+			if i == 3 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(errs)-3))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return fmt.Errorf("lint: type-check %s: %s", p.ImportPath, strings.Join(msgs, "; "))
+	}
+	if err != nil {
+		return fmt.Errorf("lint: type-check %s: %w", p.ImportPath, err)
+	}
+	p.Types = tpkg
+	return nil
+}

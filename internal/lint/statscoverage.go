@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+const statscoverageName = "statscoverage"
+
+// statscoverage keeps every sim.Stats counter observable: each field must
+// survive JSON into the dsre-report/v1 payload, the telemetry Report must
+// carry the Stats struct wholesale, and the simulator must actually write
+// each counter (a field nothing touches is a measurement that silently
+// reads zero forever).
+func statscoverage(p *pass) {
+	simPkg := p.mod.Lookup(p.cfg.SimPkg)
+	if simPkg == nil {
+		return // recorded by confighash
+	}
+	stats := lookupNamed(simPkg, p.cfg.StatsType)
+	if stats == nil {
+		p.missingAnchor(p.cfg.SimPkg + "." + p.cfg.StatsType)
+		return
+	}
+	p.checkJSONStruct(statscoverageName, "the dsre-report/v1 run report", p.cfg.StatsType, stats, nil)
+	p.checkReportCarriesStats(stats)
+	p.checkStatsReferenced(simPkg, stats)
+}
+
+// checkReportCarriesStats requires the telemetry report to hold a field of
+// type sim.Stats, so new counters flow into reports without wiring.
+func (p *pass) checkReportCarriesStats(stats *types.Named) {
+	telPkg := p.mod.Lookup(p.cfg.TelemetryPkg)
+	if telPkg == nil {
+		p.missingAnchor("package " + p.cfg.TelemetryPkg)
+		return
+	}
+	report := lookupNamed(telPkg, p.cfg.ReportType)
+	if report == nil {
+		p.missingAnchor(p.cfg.TelemetryPkg + "." + p.cfg.ReportType)
+		return
+	}
+	st, ok := report.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if ptr, ok := types.Unalias(ft).(*types.Pointer); ok {
+			ft = ptr.Elem()
+		}
+		if types.Identical(ft, stats) {
+			return
+		}
+	}
+	p.reportf(statscoverageName, report.Obj().Pos(),
+		"%s has no field of type %s.%s — simulator counters would not reach the run report",
+		p.cfg.ReportType, p.cfg.SimPkg, p.cfg.StatsType)
+}
+
+// checkStatsReferenced flags Stats fields (including those of anonymous
+// sub-structs) that no non-test file of the sim package ever selects.
+func (p *pass) checkStatsReferenced(simPkg *Package, stats *types.Named) {
+	tracked := map[*types.Var]bool{}
+	var collect func(st *types.Struct)
+	collect = func(st *types.Struct) {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			tracked[f] = false
+			// Recurse only through anonymous structs: fields of named types
+			// from other packages are that package's concern.
+			if sub, ok := types.Unalias(f.Type()).(*types.Struct); ok {
+				collect(sub)
+			}
+		}
+	}
+	st, ok := stats.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	collect(st)
+	for _, f := range simPkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var obj types.Object
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if s, ok := p.mod.Info.Selections[n]; ok {
+					obj = s.Obj()
+				}
+			case *ast.Ident:
+				// Composite-literal keys (Stats{Cycles: ...}) resolve through
+				// Uses, not Selections.
+				obj = p.mod.Info.Uses[n]
+			}
+			if v, ok := obj.(*types.Var); ok {
+				if _, t := tracked[v]; t {
+					tracked[v] = true
+				}
+			}
+			return true
+		})
+	}
+	var dead []*types.Var
+	for v, used := range tracked {
+		if !used {
+			dead = append(dead, v)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i].Pos() < dead[j].Pos() })
+	for _, v := range dead {
+		p.reportf(statscoverageName, v.Pos(),
+			"%s field %s is never written by the simulator — the report would carry a counter that always reads zero",
+			p.cfg.StatsType, v.Name())
+	}
+}

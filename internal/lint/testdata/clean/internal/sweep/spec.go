@@ -1,0 +1,33 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"m/internal/sim"
+)
+
+// JobSpec identifies one job; every exported field folds into the hash.
+type JobSpec struct {
+	Workload string
+	Seed     int64
+	Machine  sim.Config
+}
+
+// hashPayload is the hashed form: it carries the full machine Config.
+type hashPayload struct {
+	Workload string
+	Seed     int64
+	Machine  sim.Config
+}
+
+// Config resolves the machine configuration for the job.
+func (s JobSpec) Config() sim.Config { return s.Machine.Canonical() }
+
+// Hash returns the content address of the job.
+func (s JobSpec) Hash() string {
+	data, _ := json.Marshal(hashPayload{Workload: s.Workload, Seed: s.Seed, Machine: s.Config()})
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

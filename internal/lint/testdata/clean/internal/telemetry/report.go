@@ -1,0 +1,9 @@
+package telemetry
+
+import "m/internal/sim"
+
+// Report carries the simulator counters wholesale.
+type Report struct {
+	Schema string    `json:"schema"`
+	Stats  sim.Stats `json:"stats"`
+}

@@ -1,0 +1,12 @@
+package sim
+
+// Config has three knobs that can never reach the sweep cache key.
+type Config struct {
+	Width    int
+	hidden   int    // want: unexported, dropped by encoding/json
+	Secret   int    `json:"-"` // want: excluded from the hash by its tag
+	Callback func() // want: unencodable type
+}
+
+// Canonical is well-formed so only the field diagnostics fire.
+func (c Config) Canonical() Config { return c }

@@ -1,0 +1,28 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"m/internal/sim"
+)
+
+type JobSpec struct {
+	Workload string
+	Unroll   int // want: never read by a fold method
+	Machine  sim.Config
+}
+
+// hashPayload drops the machine Config entirely.  want: no sim.Config field
+type hashPayload struct {
+	Workload string
+}
+
+func (s JobSpec) Config() sim.Config { return s.Machine }
+
+func (s JobSpec) Hash() string {
+	data, _ := json.Marshal(hashPayload{Workload: s.Workload})
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

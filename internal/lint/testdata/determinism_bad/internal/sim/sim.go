@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Machine struct {
+	counts map[int]int64
+	order  []int
+	start  time.Time
+}
+
+func (m *Machine) Step() {
+	m.start = time.Now() // want: wall-clock read
+
+	if rand.Intn(2) == 0 { // want: global unseeded source
+		m.order = append(m.order, 0)
+	}
+
+	go func() { // want: goroutine spawn
+		m.counts[0]++
+	}()
+
+	for k := range m.counts { // want: appends in map order to escaping state
+		m.order = append(m.order, k)
+	}
+
+	total := int64(0)
+	for _, v := range m.counts { // commutative sum: allowed
+		total += v
+	}
+	m.counts[0] = total
+
+	//lint:ordered — suppressed for the fixture
+	for k := range m.counts {
+		m.order = append(m.order, k)
+	}
+}

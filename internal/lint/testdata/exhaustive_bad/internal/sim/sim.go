@@ -1,0 +1,31 @@
+package sim
+
+type msgKind uint8
+
+const (
+	msgOperand msgKind = iota
+	msgWrite
+	msgBranch
+	numMsgKinds // sentinel, not a member
+)
+
+// deliver forgets msgBranch.  want: switch misses msgBranch
+func deliver(k msgKind) int {
+	switch k {
+	case msgOperand:
+		return 1
+	case msgWrite:
+		return 2
+	}
+	return 0
+}
+
+// withDefault opts out with an explicit default: no diagnostic.
+func withDefault(k msgKind) int {
+	switch k {
+	case msgOperand:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,17 @@
+package sim
+
+// Stats has one counter per failure mode.
+type Stats struct {
+	Cycles  int64
+	debug   int64 // want: unexported, invisible to the report
+	Scratch int64 `json:"-"` // want: tagged out of the report
+	Dead    int64 // want: nothing ever writes it
+}
+
+type Machine struct{ stats Stats }
+
+func (m *Machine) Step() {
+	m.stats.Cycles++
+	m.stats.debug++
+	m.stats.Scratch++
+}

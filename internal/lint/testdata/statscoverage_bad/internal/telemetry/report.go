@@ -1,0 +1,8 @@
+package telemetry
+
+// Report flattens a single counter instead of carrying sim.Stats wholesale.
+// want: no field of type sim.Stats
+type Report struct {
+	Schema string `json:"schema"`
+	Cycles int64  `json:"cycles"`
+}

@@ -39,6 +39,7 @@ func (m *Memory) Equal(o *Memory) bool {
 }
 
 func (m *Memory) covers(o *Memory) bool {
+	//lint:ordered — pure membership scan: the boolean result is the AND over all pages, order-invisible
 	for k, p := range m.pages {
 		op, ok := o.pages[k]
 		if !ok {
@@ -65,6 +66,7 @@ func (m *Memory) FirstDiff(o *Memory) (uint64, bool) {
 		}
 	}
 	scan := func(a, b *Memory) {
+		//lint:ordered — note() folds min(addr), which is commutative, so visit order cannot change the result
 		for k, p := range a.pages {
 			op := b.pages[k]
 			for i := 0; i < pageSize; i++ {

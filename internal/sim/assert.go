@@ -1,0 +1,19 @@
+package sim
+
+import "fmt"
+
+// Runtime invariant checks, enabled with `go test -tags dsre_assert`.
+//
+// The checks guard protocol invariants that no unit test can pin directly
+// because they hold at every cycle of every run: a committed operand slot
+// never sees a commit token with a different value (commit waves are
+// architecturally final), message injection never targets a past cycle,
+// and commit never outruns fetch.  With the tag off, assertsEnabled is a
+// false constant and every check compiles away.
+
+// assertFailf reports a violated dsre_assert invariant.  The simulator is
+// single-threaded and deterministic, so a panic here reproduces exactly
+// under the same Config + seed.
+func assertFailf(format string, args ...any) {
+	panic("dsre_assert: " + fmt.Sprintf(format, args...))
+}

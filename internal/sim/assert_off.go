@@ -1,0 +1,7 @@
+//go:build !dsre_assert
+
+package sim
+
+// assertsEnabled is off by default; `-tags dsre_assert` flips it on and
+// the checks guarded by it stop being dead code.
+const assertsEnabled = false

@@ -1,0 +1,6 @@
+//go:build dsre_assert
+
+package sim
+
+// assertsEnabled turns on the runtime invariant checks (see assert.go).
+const assertsEnabled = true

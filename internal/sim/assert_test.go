@@ -1,0 +1,26 @@
+//go:build dsre_assert
+
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAssertNegativeDelayPanics proves the dsre_assert checks are live in
+// tagged builds: scheduling a message into the past must panic instead of
+// silently clamping to "now".
+func TestAssertNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("sendAfter(-1) did not panic under -tags dsre_assert")
+		}
+		if !strings.Contains(fmt.Sprint(r), "negative injection delay") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	mc := &Machine{delayed: make(map[int64][]injection)}
+	mc.sendAfter(-1, 0, 0, message{})
+}

@@ -49,6 +49,10 @@ func (mc *Machine) stepCommit() {
 		return
 	}
 	b := mc.window[0]
+	if assertsEnabled && b.seq >= mc.nextSeq {
+		assertFailf("committing block seq %d that fetch has not issued yet (nextSeq %d, cycle %d)",
+			b.seq, mc.nextSeq, mc.cycle)
+	}
 	if !b.outputsCommitted() {
 		return
 	}

@@ -47,6 +47,10 @@ func (mc *Machine) handleOperand(m message) {
 	slot := &st.slots[m.slot]
 	var reexec bool
 	if m.committed {
+		if assertsEnabled && slot.Committed && slot.Value != m.value {
+			assertFailf("operand slot double-commit with diverging values: seq %d inst %d slot %d holds %d, token carries %d",
+				m.seq, m.idx, m.slot, slot.Value, m.value)
+		}
 		reexec = slot.DeliverCommit(m.value)
 	} else {
 		reexec = slot.Deliver(m.value, m.tag, mc.cfg.SuppressIdenticalValues)
@@ -77,6 +81,10 @@ func (mc *Machine) handleWrite(m message) {
 	reg := b.bdef.Writes[m.idx].Reg
 	var changed bool
 	if m.committed {
+		if assertsEnabled && ws.slot.Committed && ws.slot.Value != m.value {
+			assertFailf("register write slot double-commit with diverging values: seq %d write %d reg %d holds %d, token carries %d",
+				m.seq, m.idx, reg, ws.slot.Value, m.value)
+		}
 		changed = ws.slot.DeliverCommit(m.value)
 		if !ws.counted {
 			ws.counted = true

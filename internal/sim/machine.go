@@ -168,6 +168,7 @@ func New(cfg Config, prog *isa.Program, regs *[isa.NumRegs]int64, m *mem.Memory,
 	var oracle *predictor.Oracle
 	if cfg.Policy == core.IssueOracle {
 		deps := make(map[predictor.DynRef]predictor.DynRef, len(oracleDeps))
+		//lint:ordered — injective key-for-key map rebuild: the resulting map is the same set regardless of visit order
 		for l, s := range oracleDeps {
 			deps[predictor.DynRef{Seq: l.BlockSeq, LSID: l.LSID}] = predictor.DynRef{Seq: s.BlockSeq, LSID: s.LSID}
 		}
@@ -281,6 +282,9 @@ func (mc *Machine) send(src, dst int, m message) {
 // sendAfter injects a message after a delay (modelling structure latency
 // before the network, e.g. cache access time).
 func (mc *Machine) sendAfter(delay int, src, dst int, m message) {
+	if assertsEnabled && delay < 0 {
+		assertFailf("negative injection delay %d at cycle %d (kind %d seq %d)", delay, mc.cycle, m.kind, m.seq)
+	}
 	if delay <= 0 {
 		mc.send(src, dst, m)
 		return
