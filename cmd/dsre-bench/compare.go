@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// comparison is one metric matched between a baseline artifact and the
+// current run.
+type comparison struct {
+	Metric    string // e.g. "E2/histogram/dsre IPC" or a headline key
+	Base, Cur float64
+	Rel       float64 // (cur-base)/base, 0 when base is 0
+}
+
+// readArtifact loads a BENCH_<id>.json written by a previous run.
+func readArtifact(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if a.Schema != artifactSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, a.Schema, artifactSchema)
+	}
+	return &a, nil
+}
+
+// compareArtifacts matches the baseline's headline metrics and the
+// IPC/speedup measurements of its tables against the current run.  Tables
+// are matched by title, rows by their non-numeric cells, columns by header
+// name; anything present on only one side is skipped — a baseline from an
+// older harness still compares on the metrics both share.
+func compareArtifacts(base, cur *artifact) []comparison {
+	var out []comparison
+	keys := make([]string, 0, len(base.Headlines))
+	for k := range base.Headlines {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) //lint:ordered deterministic metric order
+	for _, k := range keys {
+		cv, ok := cur.Headlines[k]
+		if !ok {
+			continue
+		}
+		out = append(out, comp(base.ID+" "+k, base.Headlines[k], cv))
+	}
+	for _, bt := range base.Tables {
+		var ct *stats.Table
+		for _, c := range cur.Tables {
+			if c.Title == bt.Title {
+				ct = c
+				break
+			}
+		}
+		if ct == nil {
+			continue
+		}
+		out = append(out, compareTables(base.ID, bt, ct)...)
+	}
+	return out
+}
+
+func compareTables(id string, base, cur *stats.Table) []comparison {
+	// Most evaluation tables put IPC under scheme/size column headers, so a
+	// performance keyword in the title ("E4: IPC vs window size") marks every
+	// numeric column comparable; otherwise only keyword columns are.
+	titleOK := comparable(base.Title)
+	curByKey := map[string][]string{}
+	for _, r := range cur.Rows() {
+		curByKey[rowKey(r)] = r
+	}
+	var out []comparison
+	for _, br := range base.Rows() {
+		cr, ok := curByKey[rowKey(br)]
+		if !ok {
+			continue
+		}
+		for ci, h := range base.Header() {
+			if !titleOK && !comparable(h) {
+				continue
+			}
+			cj := -1
+			for j, ch := range cur.Header() {
+				if ch == h {
+					cj = j
+					break
+				}
+			}
+			if cj < 0 || ci >= len(br) || cj >= len(cr) {
+				continue
+			}
+			bv, err := strconv.ParseFloat(br[ci], 64)
+			if err != nil {
+				continue
+			}
+			cv, err := strconv.ParseFloat(cr[cj], 64)
+			if err != nil {
+				continue
+			}
+			out = append(out, comp(fmt.Sprintf("%s/%s %s", id, rowKey(br), h), bv, cv))
+		}
+	}
+	return out
+}
+
+// rowKey identifies a row across runs by its non-numeric cells (workload,
+// scheme, ...): the numeric cells are the measurements being compared.
+func rowKey(row []string) string {
+	var parts []string
+	for _, c := range row {
+		if _, err := strconv.ParseFloat(c, 64); err != nil {
+			parts = append(parts, c)
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+// comparable selects the performance metrics worth tracking across runs:
+// IPC and derived speedup/oracle-fraction ratios.  Raw counters (cycles,
+// violations) shift with any modelling change and would make every
+// baseline stale.
+func comparable(s string) bool {
+	l := strings.ToLower(s)
+	return strings.Contains(l, "ipc") || strings.Contains(l, "speedup") || strings.Contains(l, "oracle")
+}
+
+func comp(metric string, base, cur float64) comparison {
+	c := comparison{Metric: metric, Base: base, Cur: cur}
+	if base != 0 {
+		c.Rel = (cur - base) / base
+	}
+	return c
+}
+
+// reportComparisons prints every matched metric and returns how many moved
+// beyond the tolerance.
+func reportComparisons(w io.Writer, comps []comparison, tol float64) int {
+	beyond := 0
+	for _, c := range comps {
+		mark := " "
+		if abs(c.Rel) > tol {
+			mark = "!"
+			beyond++
+		}
+		fmt.Fprintf(w, "%s %-52s %8.3f -> %8.3f  %+7.2f%%\n", mark, c.Metric, c.Base, c.Cur, 100*c.Rel)
+	}
+	return beyond
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

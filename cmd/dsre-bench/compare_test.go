@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// bench builds a small artifact: one table with keyword columns (IPC,
+// speedup) plus a raw counter, one keyword-titled table with scheme
+// columns, and a headline scalar.
+func bench(id string, ipc, speedup float64) *artifact {
+	cols := stats.NewTable("counters", "kernel", "IPC", "speedup", "violations")
+	cols.Row("histogram", ipc, speedup, 42)
+	cols.Row("vecsum", ipc*2, speedup, 7)
+	byTitle := stats.NewTable("IPC vs window size", "workload", "scheme", "8")
+	byTitle.Row("histogram", "dsre", ipc)
+	byTitle.Row("histogram", "oracle", ipc*1.1)
+	return &artifact{
+		Schema: artifactSchema, ID: id,
+		Tables:    []*stats.Table{cols, byTitle},
+		Headlines: map[string]float64{"geomean": speedup},
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	a := bench("E2", 1.5, 1.17)
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back artifact
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tables) != 2 {
+		t.Fatalf("tables = %d", len(back.Tables))
+	}
+	bt := back.Tables[0]
+	if bt.Title != "counters" || len(bt.Header()) != 4 || len(bt.Rows()) != 2 {
+		t.Errorf("round-trip lost shape: %q %v %v", bt.Title, bt.Header(), bt.Rows())
+	}
+	if bt.Rows()[0][1] != "1.500" {
+		t.Errorf("IPC cell = %q", bt.Rows()[0][1])
+	}
+}
+
+func TestCompareArtifacts(t *testing.T) {
+	base := bench("E2", 1.5, 1.17)
+	same := bench("E2", 1.5, 1.17)
+	worse := bench("E2", 1.2, 1.02)
+
+	comps := compareArtifacts(base, same)
+	// headline + 2 kernels × (IPC, speedup) by column keyword + 2 rows of
+	// the keyword-titled table; the violations column is a raw counter in a
+	// non-keyword table and must not be compared.
+	if len(comps) != 7 {
+		t.Fatalf("comparisons = %d, want 7: %+v", len(comps), comps)
+	}
+	for _, c := range comps {
+		if c.Rel != 0 {
+			t.Errorf("%s moved on identical artifacts: %+v", c.Metric, c)
+		}
+		if strings.Contains(c.Metric, "violations") {
+			t.Errorf("raw counter compared: %s", c.Metric)
+		}
+	}
+
+	var buf bytes.Buffer
+	if beyond := reportComparisons(&buf, comps, 0.05); beyond != 0 {
+		t.Errorf("identical run flagged %d regressions", beyond)
+	}
+
+	comps = compareArtifacts(base, worse)
+	buf.Reset()
+	beyond := reportComparisons(&buf, comps, 0.05)
+	if beyond == 0 {
+		t.Errorf("20%% IPC drop not flagged:\n%s", buf.String())
+	}
+	for _, want := range []string{"histogram", "histogram/dsre"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report does not name %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestCompareSkipsUnsharedMetrics(t *testing.T) {
+	base := bench("E2", 1.5, 1.17)
+	cur := bench("E2", 1.5, 1.17)
+	cur.Headlines = nil
+	cur.Tables[0].Row("newkernel", 9.0, 1.0, 0) // only in cur: ignored
+	base.Tables = append(base.Tables, stats.NewTable("gone", "x", "IPC"))
+
+	comps := compareArtifacts(base, cur)
+	if len(comps) != 6 {
+		t.Fatalf("comparisons = %d, want 6 (headline and extras dropped): %+v", len(comps), comps)
+	}
+}
+
+func TestRowKeySkipsNumericCells(t *testing.T) {
+	if got := rowKey([]string{"vecsum", "dsre", "1.500", "42"}); got != "vecsum/dsre" {
+		t.Errorf("rowKey = %q", got)
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	a := bench("E2", 1.5, 1.17)
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_E2.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := loadBaseline(dir, "E2")
+	if err != nil || got == nil || got.ID != "E2" {
+		t.Errorf("directory lookup: %+v, %v", got, err)
+	}
+	if got, err := loadBaseline(dir, "E4"); err != nil || got != nil {
+		t.Errorf("absent experiment: %+v, %v", got, err)
+	}
+	if got, err := loadBaseline(path, "E2"); err != nil || got == nil {
+		t.Errorf("file lookup: %+v, %v", got, err)
+	}
+	if got, err := loadBaseline(path, "E4"); err != nil || got != nil {
+		t.Errorf("file for other experiment: %+v, %v", got, err)
+	}
+	if _, err := loadBaseline(filepath.Join(dir, "nope"), "E2"); err == nil {
+		t.Error("missing baseline path accepted")
+	}
+	bad := filepath.Join(dir, "BENCH_E9.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope/v0","id":"E9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(bad, "E9"); err == nil {
+		t.Error("wrong-schema artifact accepted")
+	}
+}

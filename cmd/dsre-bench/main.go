@@ -59,6 +59,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	cache := flag.String("cache", "", "content-addressed result cache directory (empty disables)")
 	progress := flag.Bool("progress", false, "stream per-simulation progress to stderr")
+	baseline := flag.String("baseline", "", "compare against prior BENCH_<id>.json artifacts (a file or a directory of them)")
+	tolerance := flag.Float64("tolerance", 0.05, "relative IPC/speedup change -baseline accepts before exiting 3")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -131,19 +133,40 @@ func main() {
 
 	start := time.Now()
 	ran := 0
-	// emit prints an experiment's tables and writes its BENCH artifact.
+	regressions := 0
+	// emit prints an experiment's tables, writes its BENCH artifact, and
+	// (under -baseline) diffs the run against the recorded artifact.
 	emit := func(id string, headlines map[string]float64, tables ...*stats.Table) {
 		for _, t := range tables {
 			fmt.Println(t)
 		}
 		ran++
-		if *outdir == "" {
-			return
-		}
 		a := artifact{
 			Schema: artifactSchema, ID: id, Quick: *quick,
 			Tables: tables, Headlines: headlines,
 			ElapsedMS: time.Since(start).Milliseconds(),
+		}
+		if *baseline != "" {
+			base, err := loadBaseline(*baseline, id)
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "dsre-bench: baseline %s: %v\n", id, err)
+				os.Exit(1)
+			case base == nil:
+				fmt.Printf("baseline %s: no artifact to compare\n\n", id)
+			default:
+				comps := compareArtifacts(base, &a)
+				if len(comps) == 0 {
+					fmt.Printf("baseline %s: no shared metrics\n\n", id)
+				} else {
+					fmt.Printf("baseline %s (tolerance %.1f%%):\n", id, 100**tolerance)
+					regressions += reportComparisons(os.Stdout, comps, *tolerance)
+					fmt.Println()
+				}
+			}
+		}
+		if *outdir == "" {
+			return
 		}
 		data, err := json.MarshalIndent(&a, "", "  ")
 		if err != nil {
@@ -223,4 +246,34 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("(%d experiment groups in %v)\n", ran, time.Since(start).Round(time.Millisecond))
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "dsre-bench: %d metrics moved beyond -tolerance %.1f%% vs %s\n",
+			regressions, 100**tolerance, *baseline)
+		os.Exit(3)
+	}
+}
+
+// loadBaseline resolves the -baseline flag for one experiment: a directory
+// holds one BENCH_<id>.json per experiment; a single file compares only the
+// experiment it records.  (nil, nil) means nothing to compare.
+func loadBaseline(path, id string) (*artifact, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		p := filepath.Join(path, "BENCH_"+id+".json")
+		if _, err := os.Stat(p); err != nil {
+			return nil, nil
+		}
+		return readArtifact(p)
+	}
+	a, err := readArtifact(path)
+	if err != nil {
+		return nil, err
+	}
+	if a.ID != id {
+		return nil, nil
+	}
+	return a, nil
 }

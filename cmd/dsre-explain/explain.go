@@ -1,0 +1,376 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/account"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+// ExplainSchema identifies the -json output format.
+const ExplainSchema = "dsre-explain/v1"
+
+// runView is one explained run in the -json document.
+type runView struct {
+	Source   string `json:"source"`
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Size     int    `json:"size,omitempty"`
+
+	Cycles int64   `json:"cycles"`
+	Insts  int64   `json:"insts"`
+	Blocks int64   `json:"blocks"`
+	IPC    float64 `json:"ipc"`
+
+	// CPI is the run's cumulative cycle-accounting stack; CPIShare the same
+	// stack as per-bucket fractions of the cycle budget.  Both are zero for
+	// reports recorded without accounting.
+	CPI       account.CPIStack `json:"cpi"`
+	CPIShare  []bucketShare    `json:"cpi_share,omitempty"`
+	Forensics account.Summary  `json:"forensics"`
+	HotBlocks []blockView      `json:"hot_blocks,omitempty"`
+}
+
+type bucketShare struct {
+	Bucket string  `json:"bucket"`
+	Slots  int64   `json:"slots"`
+	Pct    float64 `json:"pct"`
+}
+
+// blockView aggregates forensic load profiles by static block.
+type blockView struct {
+	Block      string `json:"block"`
+	Events     int64  `json:"events"`
+	Reexecs    int64  `json:"reexecs"`
+	SquashCost int64  `json:"squash_cost"`
+}
+
+type diffView struct {
+	A           string        `json:"a"`
+	B           string        `json:"b"`
+	IPCA        float64       `json:"ipc_a"`
+	IPCB        float64       `json:"ipc_b"`
+	IPCDelta    float64       `json:"ipc_delta"`
+	IPCDeltaRel float64       `json:"ipc_delta_rel"`
+	Tolerance   float64       `json:"tolerance"`
+	Within      bool          `json:"within_tolerance"`
+	CPIShift    []bucketShift `json:"cpi_shift,omitempty"`
+}
+
+type bucketShift struct {
+	Bucket string  `json:"bucket"`
+	APct   float64 `json:"a_pct"`
+	BPct   float64 `json:"b_pct"`
+	Delta  float64 `json:"delta_pct"`
+}
+
+type explainDoc struct {
+	Schema string    `json:"schema"`
+	Runs   []runView `json:"runs,omitempty"`
+	Diff   *diffView `json:"diff,omitempty"`
+}
+
+// run is the CLI body; main exits with its return value.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dsre-explain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit a dsre-explain/v1 JSON document instead of text")
+	top := fs.Int("top", 10, "how many hot loads/blocks/stores to show")
+	diff := fs.Bool("diff", false, "compare exactly two reports (base, new)")
+	tol := fs.Float64("tolerance", 0, "relative IPC change -diff accepts before exiting 3")
+	manifest := fs.String("manifest", "", "sweep manifest to explain (requires -cache)")
+	cacheDir := fs.String("cache", "", "sweep result cache directory for -manifest")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var runs []runView
+	switch {
+	case *manifest != "":
+		if *cacheDir == "" {
+			fmt.Fprintln(stderr, "dsre-explain: -manifest requires -cache")
+			return 2
+		}
+		if fs.NArg() != 0 {
+			fmt.Fprintln(stderr, "dsre-explain: -manifest takes no report files")
+			return 2
+		}
+		var missing int
+		var err error
+		runs, missing, err = loadManifestRuns(*manifest, *cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "dsre-explain: %v\n", err)
+			return 1
+		}
+		if missing > 0 {
+			// Not fatal: the cache may have been pruned or written by an
+			// older simulator version; explain what is still there.
+			fmt.Fprintf(stderr, "dsre-explain: %d completed jobs missing from cache %s\n", missing, *cacheDir)
+		}
+	case *diff:
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "dsre-explain: -diff needs exactly two report files")
+			return 2
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), *tol, *jsonOut, stdout, stderr)
+	default:
+		if fs.NArg() == 0 {
+			fmt.Fprintln(stderr, "usage: dsre-explain [-json] [-top N] report.json...")
+			fmt.Fprintln(stderr, "       dsre-explain -manifest sweep-manifest.json -cache DIR")
+			fmt.Fprintln(stderr, "       dsre-explain -diff base.json new.json [-tolerance F]")
+			return 2
+		}
+		for _, path := range fs.Args() {
+			rep, err := telemetry.ReadReport(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "dsre-explain: %v\n", err)
+				return 1
+			}
+			runs = append(runs, view(path, rep, *top))
+		}
+	}
+
+	if *jsonOut {
+		return emitJSON(stdout, stderr, explainDoc{Schema: ExplainSchema, Runs: runs})
+	}
+	for i := range runs {
+		printRun(stdout, &runs[i], *top)
+	}
+	return 0
+}
+
+// loadManifestRuns explains every completed job of a sweep from its cache,
+// also reporting how many completed jobs had no cached payload.
+func loadManifestRuns(path, cacheDir string) ([]runView, int, error) {
+	m, err := sweep.ReadManifest(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := sweep.OpenStore(cacheDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var runs []runView
+	missing := 0
+	for _, j := range m.Jobs {
+		if j.Status != sweep.StatusOK {
+			continue
+		}
+		rec, err := st.Get(j.Hash)
+		if err != nil {
+			return nil, 0, err
+		}
+		if rec == nil {
+			missing++
+			continue
+		}
+		runs = append(runs, view(j.Spec.Name(), rec.Report, 0))
+	}
+	if len(runs) == 0 {
+		return nil, missing, fmt.Errorf("manifest %s: no completed jobs found in cache %s", path, cacheDir)
+	}
+	return runs, missing, nil
+}
+
+// view folds one report into its explained form.
+func view(source string, rep *telemetry.Report, top int) runView {
+	v := runView{
+		Source:    source,
+		Workload:  rep.Workload,
+		Scheme:    rep.Scheme,
+		Size:      rep.Size,
+		Cycles:    rep.Cycles,
+		Insts:     rep.Insts,
+		Blocks:    rep.Blocks,
+		IPC:       rep.IPC,
+		CPI:       rep.Stats.Acct,
+		Forensics: rep.Stats.Forensics,
+	}
+	if total := v.CPI.Total(); total > 0 {
+		for b := account.Bucket(0); b < account.NumBuckets; b++ {
+			n := v.CPI.Get(b)
+			v.CPIShare = append(v.CPIShare, bucketShare{
+				Bucket: b.String(),
+				Slots:  n,
+				Pct:    100 * float64(n) / float64(total),
+			})
+		}
+	}
+	v.HotBlocks = hotBlocks(v.Forensics.Loads, top)
+	return v
+}
+
+// hotBlocks regroups per-load forensics by static block ("b3.i7" → "b3").
+func hotBlocks(loads []account.LoadProfile, top int) []blockView {
+	var blocks []blockView
+	for _, p := range loads {
+		name := p.LoadPC
+		if i := strings.IndexByte(name, '.'); i > 0 {
+			name = name[:i]
+		}
+		found := false
+		for j := range blocks {
+			if blocks[j].Block == name {
+				blocks[j].Events += p.Events
+				blocks[j].Reexecs += p.Reexecs
+				blocks[j].SquashCost += p.SquashCost
+				found = true
+				break
+			}
+		}
+		if !found {
+			blocks = append(blocks, blockView{
+				Block: name, Events: p.Events, Reexecs: p.Reexecs, SquashCost: p.SquashCost,
+			})
+		}
+	}
+	sort.SliceStable(blocks, func(a, b int) bool { return blocks[a].Events > blocks[b].Events })
+	if top > 0 && len(blocks) > top {
+		blocks = blocks[:top]
+	}
+	return blocks
+}
+
+func printRun(w io.Writer, v *runView, top int) {
+	fmt.Fprintf(w, "== %s / %s", v.Workload, v.Scheme)
+	if v.Size > 0 {
+		fmt.Fprintf(w, " (size %d)", v.Size)
+	}
+	fmt.Fprintf(w, " — %s ==\n", v.Source)
+	fmt.Fprintf(w, "  IPC %.3f  (%d instructions over %d cycles, %d blocks)\n",
+		v.IPC, v.Insts, v.Cycles, v.Blocks)
+
+	if len(v.CPIShare) == 0 {
+		fmt.Fprintf(w, "  no cycle accounting in this report (rerun with a current dsre-sim)\n")
+	} else {
+		fmt.Fprintf(w, "  cpi stack (%d cycles, %d slot/cycle):\n", v.Cycles, account.SlotsPerCycle)
+		for _, s := range v.CPIShare {
+			if s.Slots == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "    %-9s %10d  %5.1f%%  %s\n", s.Bucket, s.Slots, s.Pct, bar(s.Pct, 30))
+		}
+	}
+
+	f := &v.Forensics
+	fmt.Fprintf(w, "  forensics: %d repairs (%d flush, %d wave, %d vp)  reexecs %d attributed + %d unattributed  wasted %d  squash-equivalent %d  max wave depth %d\n",
+		f.Events, f.FlushEvents, f.WaveEvents, f.VPEvents,
+		f.WaveReexecs, f.UnattributedReexecs, f.WastedReexecs, f.SquashCost, f.MaxDepth)
+
+	if len(v.HotBlocks) > 0 {
+		fmt.Fprintf(w, "  hot blocks:\n")
+		for _, b := range v.HotBlocks {
+			fmt.Fprintf(w, "    %-6s repairs %-6d reexecs %-6d squash-equivalent %d\n",
+				b.Block, b.Events, b.Reexecs, b.SquashCost)
+		}
+	}
+	loads := f.Loads
+	if top > 0 && len(loads) > top {
+		loads = loads[:top]
+	}
+	if len(loads) > 0 {
+		fmt.Fprintf(w, "  hot loads:\n")
+		for _, p := range loads {
+			fmt.Fprintf(w, "    %-10s repairs %-5d (flush %d, wave %d, vp %d)  reexecs %-5d wasted %-4d depth %d",
+				p.LoadPC, p.Events, p.Flushes, p.Waves, p.VPRepairs, p.Reexecs, p.Wasted, p.MaxDepth)
+			if len(p.TopStores) > 0 {
+				var st []string
+				n := len(p.TopStores)
+				if top > 0 && n > top {
+					n = top
+				}
+				for _, s := range p.TopStores[:n] {
+					st = append(st, fmt.Sprintf("%s×%d", s.StorePC, s.Count))
+				}
+				fmt.Fprintf(w, "  stores: %s", strings.Join(st, " "))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// bar renders pct (0..100) as a proportional ASCII bar of the given width.
+func bar(pct float64, width int) string {
+	n := int(pct/100*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+func runDiff(pathA, pathB string, tol float64, jsonOut bool, stdout, stderr io.Writer) int {
+	a, err := telemetry.ReadReport(pathA)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsre-explain: %v\n", err)
+		return 1
+	}
+	b, err := telemetry.ReadReport(pathB)
+	if err != nil {
+		fmt.Fprintf(stderr, "dsre-explain: %v\n", err)
+		return 1
+	}
+	d := diffView{
+		A: pathA, B: pathB,
+		IPCA: a.IPC, IPCB: b.IPC,
+		IPCDelta:  b.IPC - a.IPC,
+		Tolerance: tol,
+	}
+	if a.IPC != 0 {
+		d.IPCDeltaRel = (b.IPC - a.IPC) / a.IPC
+	}
+	d.Within = abs(d.IPCDeltaRel) <= tol
+	ta, tb := a.Stats.Acct.Total(), b.Stats.Acct.Total()
+	if ta > 0 && tb > 0 {
+		for bk := account.Bucket(0); bk < account.NumBuckets; bk++ {
+			ap := 100 * float64(a.Stats.Acct.Get(bk)) / float64(ta)
+			bp := 100 * float64(b.Stats.Acct.Get(bk)) / float64(tb)
+			if ap == 0 && bp == 0 {
+				continue
+			}
+			d.CPIShift = append(d.CPIShift, bucketShift{
+				Bucket: bk.String(), APct: ap, BPct: bp, Delta: bp - ap,
+			})
+		}
+	}
+
+	if jsonOut {
+		if rc := emitJSON(stdout, stderr, explainDoc{Schema: ExplainSchema, Diff: &d}); rc != 0 {
+			return rc
+		}
+	} else {
+		fmt.Fprintf(stdout, "IPC %.3f → %.3f (%+.2f%%, tolerance %.2f%%)\n",
+			d.IPCA, d.IPCB, 100*d.IPCDeltaRel, 100*tol)
+		for _, s := range d.CPIShift {
+			fmt.Fprintf(stdout, "  %-9s %5.1f%% → %5.1f%%  (%+.1f pts)\n", s.Bucket, s.APct, s.BPct, s.Delta)
+		}
+	}
+	if !d.Within {
+		fmt.Fprintf(stderr, "dsre-explain: IPC moved %+.2f%%, beyond tolerance %.2f%%\n",
+			100*d.IPCDeltaRel, 100*tol)
+		return 3
+	}
+	return 0
+}
+
+func emitJSON(stdout, stderr io.Writer, doc explainDoc) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(stderr, "dsre-explain: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,23 @@
+// dsre-explain answers "where did the cycles go?" for recorded runs: it
+// reads dsre-report/v1 files (or a sweep manifest plus its result cache),
+// renders each run's CPI stack and mis-speculation forensics — hottest
+// violating loads, their conflicting stores, wave depths and wasted
+// re-executions — and diffs two reports bucket by bucket.
+//
+// Usage:
+//
+//	dsre-explain run.json [more.json...]
+//	dsre-explain -manifest sweep-manifest.json -cache .dsre-cache
+//	dsre-explain -diff base.json new.json -tolerance 0.02
+//	dsre-explain -json run.json
+//
+// -json emits a dsre-explain/v1 document instead of text.  Exit status: 0
+// on success, 1 on read/parse errors, 2 on usage errors, 3 when -diff
+// finds an IPC regression beyond -tolerance.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

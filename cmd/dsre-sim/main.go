@@ -168,6 +168,16 @@ func report(r *repro.Result) {
 		r.Violations, r.Flushes, r.Corrections, r.Waves, r.Reexecs)
 	fmt.Printf("  verified against the architectural emulator: OK\n")
 	fmt.Printf("%s\n", indent(r.Sim.String(), "  "))
+	if loads := r.Sim.Forensics.Loads; len(loads) > 0 {
+		if len(loads) > 3 {
+			loads = loads[:3]
+		}
+		fmt.Printf("  hottest violating loads (see dsre-explain for the full audit):\n")
+		for _, p := range loads {
+			fmt.Printf("    %-10s repairs %-5d reexecs %-5d wasted %d\n",
+				p.LoadPC, p.Events, p.Reexecs, p.Wasted)
+		}
+	}
 }
 
 func indent(s, pad string) string {

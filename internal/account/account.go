@@ -1,0 +1,175 @@
+// Package account implements per-cycle cycle accounting (CPI stacks) and
+// mis-speculation forensics for the simulator.  The machine attributes each
+// cycle's commit-slot budget to exactly one cause bucket; the resulting
+// stack obeys a hard conservation invariant (sum of buckets == cycles ×
+// slots) that the sim checks under the dsre_assert build tag.  The package
+// is substrate-level: it may be imported by internal/sim but never imports
+// it.
+package account
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SlotsPerCycle is the machine's commit-slot budget per cycle.  The modeled
+// machine commits at most one block per cycle, so the budget is one slot;
+// the constant keeps the conservation arithmetic honest if that changes.
+const SlotsPerCycle = 1
+
+// Bucket is one cause a cycle's commit slot can be charged to.  Every cycle
+// is charged to exactly one bucket, in the documented priority order (see
+// DESIGN.md "Cycle accounting"): Commit > Wave > BPred > Fetch > Drain >
+// CacheMiss > Issue > NoC.
+type Bucket uint8
+
+const (
+	// BucketCommit: a block committed this cycle — the slot did useful work.
+	BucketCommit Bucket = iota
+	// BucketWave: the slot was lost to an LSQ violation repair — a flush,
+	// a DSRE re-execution wave, a value-prediction correction, or the
+	// fetch-starved shadow of a violation flush.
+	BucketWave
+	// BucketBPred: the slot was lost to a block-predictor squash or the
+	// fetch-starved shadow of one.
+	BucketBPred
+	// BucketFetch: the window was empty and fetch had not yet delivered a
+	// block (i-cache latency, frame-pressure or LSQ-pressure stalls).
+	BucketFetch
+	// BucketDrain: fetch has reached the halt target and the window is
+	// winding down toward the final commit.
+	BucketDrain
+	// BucketCacheMiss: progress was blocked with data-cache misses
+	// outstanding.
+	BucketCacheMiss
+	// BucketIssue: instructions were ready or executing but the oldest
+	// block could not complete — issue-bandwidth or ALU-latency bound.
+	BucketIssue
+	// BucketNoC: nothing was ready anywhere; progress waits on operand or
+	// protocol messages in the mesh.
+	BucketNoC
+
+	// NumBuckets is the sentinel bound, not a member.
+	NumBuckets
+)
+
+func (b Bucket) String() string {
+	switch b {
+	case BucketCommit:
+		return "commit"
+	case BucketWave:
+		return "wave"
+	case BucketBPred:
+		return "bpred"
+	case BucketFetch:
+		return "fetch"
+	case BucketDrain:
+		return "drain"
+	case BucketCacheMiss:
+		return "cachemiss"
+	case BucketIssue:
+		return "issue"
+	case BucketNoC:
+		return "noc"
+	}
+	return fmt.Sprintf("bucket(%d)", uint8(b))
+}
+
+// CPIStack is the per-bucket slot tally.  Fields are commit-slot counts
+// (cycles × SlotsPerCycle), so with SlotsPerCycle == 1 each field reads as
+// a cycle count and Total() must equal the accounted cycle span.
+type CPIStack struct {
+	Commit    int64 `json:"commit"`
+	Wave      int64 `json:"wave"`
+	BPred     int64 `json:"bpred"`
+	Fetch     int64 `json:"fetch"`
+	Drain     int64 `json:"drain"`
+	CacheMiss int64 `json:"cache_miss"`
+	Issue     int64 `json:"issue"`
+	NoC       int64 `json:"noc"`
+}
+
+// Add charges n slots to bucket b.
+func (c *CPIStack) Add(b Bucket, n int64) {
+	switch b {
+	case BucketCommit:
+		c.Commit += n
+	case BucketWave:
+		c.Wave += n
+	case BucketBPred:
+		c.BPred += n
+	case BucketFetch:
+		c.Fetch += n
+	case BucketDrain:
+		c.Drain += n
+	case BucketCacheMiss:
+		c.CacheMiss += n
+	case BucketIssue:
+		c.Issue += n
+	case BucketNoC:
+		c.NoC += n
+	}
+}
+
+// Get returns the slots charged to bucket b.
+func (c CPIStack) Get(b Bucket) int64 {
+	switch b {
+	case BucketCommit:
+		return c.Commit
+	case BucketWave:
+		return c.Wave
+	case BucketBPred:
+		return c.BPred
+	case BucketFetch:
+		return c.Fetch
+	case BucketDrain:
+		return c.Drain
+	case BucketCacheMiss:
+		return c.CacheMiss
+	case BucketIssue:
+		return c.Issue
+	case BucketNoC:
+		return c.NoC
+	}
+	return 0
+}
+
+// Total is the sum over all buckets; conservation requires it to equal the
+// accounted cycle span × SlotsPerCycle.
+func (c CPIStack) Total() int64 {
+	var t int64
+	for b := Bucket(0); b < NumBuckets; b++ {
+		t += c.Get(b)
+	}
+	return t
+}
+
+// Sub returns the windowed delta c - prev (both cumulative snapshots).
+func (c CPIStack) Sub(prev CPIStack) CPIStack {
+	var d CPIStack
+	for b := Bucket(0); b < NumBuckets; b++ {
+		d.Add(b, c.Get(b)-prev.Get(b))
+	}
+	return d
+}
+
+// String renders the non-zero buckets in priority order with their share of
+// the total, e.g. "commit=120 (60.0%) wave=50 (25.0%) fetch=30 (15.0%)".
+func (c CPIStack) String() string {
+	total := c.Total()
+	if total == 0 {
+		return "(empty)"
+	}
+	var sb strings.Builder
+	for b := Bucket(0); b < NumBuckets; b++ {
+		v := c.Get(b)
+		if v == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%d (%.1f%%)", b, v, 100*float64(v)/float64(total))
+	}
+	return sb.String()
+}

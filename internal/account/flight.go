@@ -1,0 +1,76 @@
+package account
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultFlightDepth is the ring size used by the machine's flight
+// recorder: deep enough to cover a deadlock window's tail, small enough to
+// record every cycle for free.
+const DefaultFlightDepth = 128
+
+// Snapshot is one per-cycle machine snapshot kept in the flight recorder.
+type Snapshot struct {
+	Cycle      int64
+	Attributed Bucket
+	Window     int   // blocks in flight
+	LSQ        int   // load/store-queue occupancy
+	NoC        int   // operand-network messages pending
+	Committed  int64 // blocks committed so far
+	FetchBusy  bool  // a block fetch is outstanding
+}
+
+// FlightRecorder is a fixed-size ring of recent per-cycle snapshots,
+// dumped on deadlock and on dsre_assert failures so the last moments
+// before a wedge are visible without re-running under a tracer.
+type FlightRecorder struct {
+	buf []Snapshot
+	n   int // total snapshots ever recorded
+}
+
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &FlightRecorder{buf: make([]Snapshot, depth)}
+}
+
+// Record overwrites the oldest slot with s.
+func (fr *FlightRecorder) Record(s Snapshot) {
+	fr.buf[fr.n%len(fr.buf)] = s
+	fr.n++
+}
+
+// Len is the number of snapshots currently held (<= the ring depth).
+func (fr *FlightRecorder) Len() int {
+	if fr.n < len(fr.buf) {
+		return fr.n
+	}
+	return len(fr.buf)
+}
+
+// Snapshots returns the held snapshots oldest-first.
+func (fr *FlightRecorder) Snapshots() []Snapshot {
+	held := fr.Len()
+	out := make([]Snapshot, 0, held)
+	for i := fr.n - held; i < fr.n; i++ {
+		out = append(out, fr.buf[i%len(fr.buf)])
+	}
+	return out
+}
+
+// Dump renders the ring oldest-first, one line per cycle.
+func (fr *FlightRecorder) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "flight recorder (last %d cycles):\n", fr.Len())
+	for _, s := range fr.Snapshots() {
+		fetch := "idle"
+		if s.FetchBusy {
+			fetch = "busy"
+		}
+		fmt.Fprintf(&sb, "  cycle=%-8d bucket=%-9s window=%-3d lsq=%-4d noc=%-4d committed=%-6d fetch=%s\n",
+			s.Cycle, s.Attributed, s.Window, s.LSQ, s.NoC, s.Committed, fetch)
+	}
+	return sb.String()
+}

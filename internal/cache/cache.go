@@ -219,6 +219,13 @@ func (h *Hierarchy) prune(now int64) {
 	h.inflight = kept
 }
 
+// OutstandingData reports how many data-side misses are still in flight at
+// cycle now (current MSHR occupancy), for cycle-accounting attribution.
+func (h *Hierarchy) OutstandingData(now int64) int {
+	h.prune(now)
+	return len(h.inflight)
+}
+
 // DataAccess returns the latency of a data-side access at cycle now, or
 // ok=false when all MSHRs are busy and the access must retry.
 func (h *Hierarchy) DataAccess(now int64, addr uint64, write bool) (lat int, ok bool) {

@@ -40,6 +40,10 @@ func (w *WaveStats) Reexecuted(tag Tag) {
 	w.perWave[tag]++
 }
 
+// WaveSize returns the number of re-executions attributed to wave tag
+// (zero for an unknown tag), for per-wave forensics.
+func (w *WaveStats) WaveSize(tag Tag) int64 { return w.perWave[tag] }
+
 // SizeHist returns the histogram of wave sizes (re-executed instructions
 // per injected wave).
 func (w *WaveStats) SizeHist() *stats.Hist {

@@ -78,6 +78,7 @@ func DefaultConfig() Config {
 		DeterminismPkgs: []string{
 			"internal/sim", "internal/core", "internal/lsq", "internal/noc",
 			"internal/mem", "internal/predictor", "internal/cache", "internal/emu",
+			"internal/account",
 		},
 		SimPkg:          "internal/sim",
 		ConfigType:      "Config",
@@ -99,6 +100,8 @@ func DefaultConfig() Config {
 			"internal/isa.PredMode",
 			"internal/core.RecoveryScheme",
 			"internal/core.IssuePolicy",
+			"internal/account.Bucket",
+			"internal/account.EventKind",
 		},
 	}
 }

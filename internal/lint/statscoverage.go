@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 const statscoverageName = "statscoverage"
@@ -59,47 +60,84 @@ func (p *pass) checkReportCarriesStats(stats *types.Named) {
 		p.cfg.ReportType, p.cfg.SimPkg, p.cfg.StatsType)
 }
 
-// checkStatsReferenced flags Stats fields (including those of anonymous
-// sub-structs) that no non-test file of the sim package ever selects.
+// checkStatsReferenced flags Stats fields that no non-test file of the
+// packages owning them ever selects.  Tracking recurses through anonymous
+// sub-structs and through named struct types this module declares without a
+// custom MarshalJSON (unwrapping pointers, slices and arrays along the way):
+// account.CPIStack rides inside Stats, so its counters are part of the
+// report's surface, but they are written by internal/account — each
+// recursed type's declaring package joins the write scan.
 func (p *pass) checkStatsReferenced(simPkg *Package, stats *types.Named) {
 	tracked := map[*types.Var]bool{}
-	var collect func(st *types.Struct)
-	collect = func(st *types.Struct) {
+	owner := map[*types.Var]string{}
+	scan := map[*Package]bool{simPkg: true}
+	seen := map[*types.Named]bool{}
+	var collectType func(name string, t types.Type)
+	collectStruct := func(name string, st *types.Struct) {
 		for i := 0; i < st.NumFields(); i++ {
 			f := st.Field(i)
 			tracked[f] = false
-			// Recurse only through anonymous structs: fields of named types
-			// from other packages are that package's concern.
-			if sub, ok := types.Unalias(f.Type()).(*types.Struct); ok {
-				collect(sub)
+			owner[f] = name
+			collectType(name+"."+f.Name(), f.Type())
+		}
+	}
+	collectType = func(name string, t types.Type) {
+		switch tt := types.Unalias(t).(type) {
+		case *types.Pointer:
+			collectType(name, tt.Elem())
+		case *types.Slice:
+			collectType(name, tt.Elem())
+		case *types.Array:
+			collectType(name, tt.Elem())
+		case *types.Struct:
+			// Anonymous sub-struct: its fields marshal in place and belong
+			// to whichever package declared the enclosing struct.
+			collectStruct(name, tt)
+		case *types.Named:
+			// A custom MarshalJSON owns its wire format (stats.Hist), so its
+			// raw fields are not the report's shape; types from outside the
+			// module are assumed to maintain themselves.
+			if seen[tt] || !p.moduleDeclared(tt) || hasMethod(tt, "MarshalJSON") {
+				return
 			}
+			seen[tt] = true
+			st, ok := tt.Underlying().(*types.Struct)
+			if !ok {
+				return
+			}
+			if declPkg := p.declaringPackage(tt); declPkg != nil {
+				scan[declPkg] = true
+			}
+			collectStruct(tt.Obj().Name(), st)
 		}
 	}
 	st, ok := stats.Underlying().(*types.Struct)
 	if !ok {
 		return
 	}
-	collect(st)
-	for _, f := range simPkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			var obj types.Object
-			switch n := n.(type) {
-			case *ast.SelectorExpr:
-				if s, ok := p.mod.Info.Selections[n]; ok {
-					obj = s.Obj()
+	collectStruct(p.cfg.StatsType, st)
+	for pkg := range scan {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var obj types.Object
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if s, ok := p.mod.Info.Selections[n]; ok {
+						obj = s.Obj()
+					}
+				case *ast.Ident:
+					// Composite-literal keys (Stats{Cycles: ...}) resolve through
+					// Uses, not Selections.
+					obj = p.mod.Info.Uses[n]
 				}
-			case *ast.Ident:
-				// Composite-literal keys (Stats{Cycles: ...}) resolve through
-				// Uses, not Selections.
-				obj = p.mod.Info.Uses[n]
-			}
-			if v, ok := obj.(*types.Var); ok {
-				if _, t := tracked[v]; t {
-					tracked[v] = true
+				if v, ok := obj.(*types.Var); ok {
+					if _, t := tracked[v]; t {
+						tracked[v] = true
+					}
 				}
-			}
-			return true
-		})
+				return true
+			})
+		}
 	}
 	var dead []*types.Var
 	for v, used := range tracked {
@@ -111,6 +149,20 @@ func (p *pass) checkStatsReferenced(simPkg *Package, stats *types.Named) {
 	for _, v := range dead {
 		p.reportf(statscoverageName, v.Pos(),
 			"%s field %s is never written by the simulator — the report would carry a counter that always reads zero",
-			p.cfg.StatsType, v.Name())
+			owner[v], v.Name())
 	}
+}
+
+// declaringPackage maps a module-declared named type back to the loaded
+// Package that declares it.
+func (p *pass) declaringPackage(named *types.Named) *Package {
+	tp := named.Obj().Pkg()
+	if tp == nil {
+		return nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(tp.Path(), p.mod.Path), "/")
+	if tp.Path() == p.mod.Path {
+		rel = ""
+	}
+	return p.mod.Lookup(rel)
 }

@@ -1,11 +1,18 @@
 package sim
 
+import "m/internal/acct"
+
 // Stats has one counter per failure mode.
 type Stats struct {
 	Cycles  int64
 	debug   int64 // want: unexported, invisible to the report
 	Scratch int64 `json:"-"` // want: tagged out of the report
 	Dead    int64 // want: nothing ever writes it
+	// Named sub-structs are part of the report's surface; their counters are
+	// written by the declaring package (acct.Counters.Cold never is).  Wire
+	// has a custom MarshalJSON, so its raw fields are exempt.
+	Subs []acct.Counters
+	Wire acct.Wire
 }
 
 type Machine struct{ stats Stats }
@@ -14,4 +21,6 @@ func (m *Machine) Step() {
 	m.stats.Cycles++
 	m.stats.debug++
 	m.stats.Scratch++
+	m.stats.Subs[0].Bump()
+	m.stats.Wire = acct.Wire{}
 }

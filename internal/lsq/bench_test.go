@@ -29,7 +29,7 @@ func BenchmarkForwardingScan(b *testing.B) {
 	for seq := int64(0); seq < 8; seq++ {
 		q.RegisterBlock(seq, ops)
 		for i := 0; i < 32; i += 2 {
-			q.StoreUpdate(Key{seq, int8(i)}, uint64(0x1000+8*((seq*16+int64(i))%64)), seq, false, false)
+			q.StoreUpdate(Key{seq, int8(i)}, uint64(0x1000+8*((seq*16+int64(i))%64)), seq, 0, false, false)
 		}
 	}
 	b.ResetTimer()
@@ -56,7 +56,7 @@ func BenchmarkViolationCheck(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Alternating value prevents silent-store short-circuits from
 		// making the measurement trivial.
-		q.StoreUpdate(Key{0, 0}, 0x1000, int64(i&1), false, false)
+		q.StoreUpdate(Key{0, 0}, 0x1000, int64(i&1), 0, false, false)
 	}
 }
 

@@ -62,6 +62,9 @@ type Violation struct {
 	Tag     core.Tag
 	LoadPC  predictor.PC
 	StorePC predictor.PC
+	// StoreTag is the wave tag the conflicting store executed under (zero
+	// if it ran un-speculatively), so forensics can chain wave depths.
+	StoreTag core.Tag
 }
 
 // ReadyLoad is a load whose value is (now) available.
@@ -83,16 +86,16 @@ const (
 
 // Stats counts LSQ events.
 type Stats struct {
-	Loads            int64
-	Stores           int64
-	Forwards         int64 // loads fully satisfied by forwarding
-	PartialForwards  int64 // loads mixing store bytes and memory bytes
-	Violations       int64
-	SilentStoreHits  int64 // store updates that changed no load's value
-	DeferredPolicy   int64
-	DeferredMSHR     int64
-	GuardedLoads     int64
-	PeakOccupancy    int
+	Loads           int64
+	Stores          int64
+	Forwards        int64 // loads fully satisfied by forwarding
+	PartialForwards int64 // loads mixing store bytes and memory bytes
+	Violations      int64
+	SilentStoreHits int64 // store updates that changed no load's value
+	DeferredPolicy  int64
+	DeferredMSHR    int64
+	GuardedLoads    int64
+	PeakOccupancy   int
 }
 
 // Config parameterises the queue.
@@ -149,8 +152,9 @@ type Queue struct {
 	ss     *predictor.StoreSet
 	oracle *predictor.Oracle
 
-	blocks []*blockOps // ascending seq
-	bySeq  map[int64]*blockOps
+	blocks   []*blockOps // ascending seq
+	bySeq    map[int64]*blockOps
+	resident int // entries across blocks, maintained incrementally (occupancy is read every cycle)
 
 	deferred []Key // parked loads, re-evaluated when dirty
 	dirty    bool
@@ -226,18 +230,13 @@ func (q *Queue) RegisterBlock(seq int64, ops []OpInfo) {
 	}
 	q.blocks = append(q.blocks, b)
 	q.bySeq[seq] = b
-	if n := q.occupancy(); n > q.Stats.PeakOccupancy {
-		q.Stats.PeakOccupancy = n
+	q.resident += len(b.ops)
+	if q.resident > q.Stats.PeakOccupancy {
+		q.Stats.PeakOccupancy = q.resident
 	}
 }
 
-func (q *Queue) occupancy() int {
-	n := 0
-	for _, b := range q.blocks {
-		n += len(b.ops)
-	}
-	return n
-}
+func (q *Queue) occupancy() int { return q.resident }
 
 func (q *Queue) get(k Key) *entry {
 	b := q.bySeq[k.Seq]
@@ -253,6 +252,7 @@ func (q *Queue) SquashFrom(seq int64) {
 	for _, b := range q.blocks {
 		if b.seq >= seq {
 			delete(q.bySeq, b.seq)
+			q.resident -= len(b.ops)
 		} else {
 			kept = append(kept, b)
 		}

@@ -1,12 +1,17 @@
 package lsq
 
-import "repro/internal/predictor"
+import (
+	"repro/internal/core"
+	"repro/internal/predictor"
+)
 
 // StoreUpdate records a store execution (or re-execution under DSRE: the
 // same store arriving again with a possibly different address or data) and
 // returns the violations it exposes: younger issued loads whose
-// reconstructed value changed.
-func (q *Queue) StoreUpdate(k Key, addr uint64, data int64, addrCom, dataCom bool) []Violation {
+// reconstructed value changed.  tag is the wave tag the store executed
+// under (zero when un-speculative); violations it exposes carry it as
+// StoreTag so forensics can chain wave depths.
+func (q *Queue) StoreUpdate(k Key, addr uint64, data int64, tag core.Tag, addrCom, dataCom bool) []Violation {
 	e := q.get(k)
 	if e == nil || !e.isStore {
 		return nil // stale message for a squashed block
@@ -17,6 +22,7 @@ func (q *Queue) StoreUpdate(k Key, addr uint64, data int64, addrCom, dataCom boo
 	e.null = false
 	e.addr = addr
 	e.data = data
+	e.tag = tag
 	if addrCom && !e.addrCommitted {
 		e.addrCommitted = true
 	}
@@ -78,7 +84,8 @@ func (q *Queue) recheckLoads(store Key, addr uint64, size int, vs []Violation) [
 	if size == 0 {
 		return vs
 	}
-	storePC := q.get(store).pc
+	se := q.get(store)
+	storePC, storeTag := se.pc, se.tag
 	for _, b := range q.blocks {
 		if b.seq < store.Seq {
 			continue
@@ -105,12 +112,13 @@ func (q *Queue) recheckLoads(store Key, addr uint64, size int, vs []Violation) [
 				q.ss.Violation(l.pc, storePC)
 			}
 			vs = append(vs, Violation{
-				Load:    l.key,
-				Addr:    l.addr,
-				Value:   v,
-				Tag:     l.tag,
-				LoadPC:  l.pc,
-				StorePC: storePC,
+				Load:     l.key,
+				Addr:     l.addr,
+				Value:    v,
+				Tag:      l.tag,
+				LoadPC:   l.pc,
+				StorePC:  storePC,
+				StoreTag: storeTag,
 			})
 		}
 	}
@@ -226,6 +234,7 @@ func (q *Queue) Drain(seq int64) int {
 	}
 	delete(q.bySeq, seq)
 	q.blocks = q.blocks[1:]
+	q.resident -= len(b.ops)
 	q.dirty = true
 	return writes
 }

@@ -50,7 +50,7 @@ func (mc *Machine) stepCommit() {
 	}
 	b := mc.window[0]
 	if assertsEnabled && b.seq >= mc.nextSeq {
-		assertFailf("committing block seq %d that fetch has not issued yet (nextSeq %d, cycle %d)",
+		mc.failAssert("committing block seq %d that fetch has not issued yet (nextSeq %d, cycle %d)",
 			b.seq, mc.nextSeq, mc.cycle)
 	}
 	if !b.outputsCommitted() {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"repro/internal/account"
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/lsq"
@@ -48,7 +49,7 @@ func (mc *Machine) handleOperand(m message) {
 	var reexec bool
 	if m.committed {
 		if assertsEnabled && slot.Committed && slot.Value != m.value {
-			assertFailf("operand slot double-commit with diverging values: seq %d inst %d slot %d holds %d, token carries %d",
+			mc.failAssert("operand slot double-commit with diverging values: seq %d inst %d slot %d holds %d, token carries %d",
 				m.seq, m.idx, m.slot, slot.Value, m.value)
 		}
 		reexec = slot.DeliverCommit(m.value)
@@ -82,7 +83,7 @@ func (mc *Machine) handleWrite(m message) {
 	var changed bool
 	if m.committed {
 		if assertsEnabled && ws.slot.Committed && ws.slot.Value != m.value {
-			assertFailf("register write slot double-commit with diverging values: seq %d write %d reg %d holds %d, token carries %d",
+			mc.failAssert("register write slot double-commit with diverging values: seq %d write %d reg %d holds %d, token carries %d",
 				m.seq, m.idx, reg, ws.slot.Value, m.value)
 		}
 		changed = ws.slot.DeliverCommit(m.value)
@@ -192,6 +193,11 @@ func (mc *Machine) emitLoadResult(b *blockInst, idx int, addr uint64, res lsq.Lo
 				tag = mc.tags.Next()
 				mc.wave.WaveStarted(tag)
 				mc.stats.VPCorrections++
+				if mc.acct != nil {
+					in := &b.bdef.Insts[idx]
+					mc.acct.forensics.Record(account.EventVP, b.seq, int(in.LSID),
+						res.PC, 0, tag, 0, 0)
+				}
 			} else if st.vpValue == res.Value {
 				mc.stats.VPHits++
 			}
@@ -209,7 +215,7 @@ func (mc *Machine) handleStoreReq(m message) {
 		return
 	}
 	key := lsq.Key{Seq: m.seq, LSID: m.lsid}
-	vs := mc.q.StoreUpdate(key, m.addr, m.value, m.addrCom, m.dataCom)
+	vs := mc.q.StoreUpdate(key, m.addr, m.value, m.tag, m.addrCom, m.dataCom)
 	if m.committed {
 		mc.q.StoreCommitted(key)
 		st := &b.insts[m.idx]
@@ -279,6 +285,19 @@ func (mc *Machine) handleViolations(vs []lsq.Violation) {
 			mc.q.GuardLoad(v.Load)
 		}
 		mc.stats.Flushes++
+		if mc.acct != nil {
+			// Audit every violation; the squash's real cost lands on the
+			// oldest (the one the flush restarts from), the rest ride along.
+			cost := mc.squashEquivCost(min.Seq)
+			for _, v := range vs {
+				c := int64(0)
+				if v.Load == min {
+					c = cost
+				}
+				mc.acct.forensics.Record(account.EventFlush, v.Load.Seq, int(v.Load.LSID),
+					v.LoadPC, v.StorePC, v.Tag, v.StoreTag, c)
+			}
+		}
 		mc.squashFrom(min.Seq, b.blockID)
 	case core.RecoverDSRE:
 		for _, v := range vs {
@@ -290,6 +309,10 @@ func (mc *Machine) handleViolations(vs []lsq.Violation) {
 			mc.wave.WaveStarted(v.Tag)
 			idx := mc.memIdx[b.blockID][v.Load.LSID]
 			mc.stats.DSRECorrections++
+			if mc.acct != nil {
+				mc.acct.forensics.Record(account.EventWave, v.Load.Seq, int(v.Load.LSID),
+					v.LoadPC, v.StorePC, v.Tag, v.StoreTag, mc.squashEquivCost(v.Load.Seq))
+			}
 			if mc.tracer != nil {
 				mc.tracer.Record(mc.cycle, trace.KindCorrection, v.Load.Seq, idx, uint64(v.Tag))
 			}

@@ -95,6 +95,9 @@ type Machine struct {
 	spans  SpanRecorder
 	err    error // fatal protocol error detected during a handler
 
+	// Cycle accounting + forensics (see account.go); nil means off.
+	acct *acctState
+
 	// Telemetry sampling (see sampler.go); sampleSink == nil means off.
 	sampleSink  SampleSink
 	sampleEvery int64
@@ -283,7 +286,7 @@ func (mc *Machine) send(src, dst int, m message) {
 // before the network, e.g. cache access time).
 func (mc *Machine) sendAfter(delay int, src, dst int, m message) {
 	if assertsEnabled && delay < 0 {
-		assertFailf("negative injection delay %d at cycle %d (kind %d seq %d)", delay, mc.cycle, m.kind, m.seq)
+		mc.failAssert("negative injection delay %d at cycle %d (kind %d seq %d)", delay, mc.cycle, m.kind, m.seq)
 	}
 	if delay <= 0 {
 		mc.send(src, dst, m)

@@ -101,14 +101,26 @@ func (mc *Machine) step() {
 	mc.stepTiles()
 	mc.stepFetch()
 	mc.stepCommit()
+	// Sample before accounting this cycle's slot so a window ending at
+	// cycle c covers exactly the accounted cycles (base, c]: windowed CPI
+	// buckets then sum to Window × SlotsPerCycle with no boundary skew.
 	if mc.sampleSink != nil && mc.cycle >= mc.sampleAt {
 		mc.takeSample()
+	}
+	if mc.acct != nil {
+		mc.accountCycle()
 	}
 	mc.cycle++
 }
 
-// debugDump renders the stuck machine for deadlock diagnostics.
+// debugDump renders the stuck machine for deadlock diagnostics.  The
+// sampler's partial window is flushed first so the telemetry line below
+// reflects the moment of the dump, and the flight recorder (when
+// accounting is on) appends the last recorded cycles.
 func (mc *Machine) debugDump() string {
+	if mc.sampleSink != nil && mc.cycle > mc.sampleBase.cycle {
+		mc.takeSample()
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "window (%d blocks):\n", len(mc.window))
 	for _, blk := range mc.window {
@@ -141,6 +153,10 @@ func (mc *Machine) debugDump() string {
 			s.Cycle, s.Window, s.IPC, s.CommittedBlocks, s.InFlightBlocks,
 			s.LSQOccupancy, s.NoCPending, s.Waves, s.Reexecs, s.Flushes,
 			s.L1DMissRate, s.L2MissRate)
+	}
+	if mc.acct != nil {
+		fmt.Fprintf(&b, "cycle accounting: %s\n", mc.acct.stack.String())
+		b.WriteString(mc.acct.flight.Dump())
 	}
 	return b.String()
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "repro/internal/account"
+
 // Sample is one telemetry observation window: the machine's dynamic state
 // at a cycle boundary plus windowed rate counters since the previous
 // sample.  The ring-buffered collector lives in internal/telemetry; the
@@ -30,6 +32,10 @@ type Sample struct {
 	// Windowed cache miss rates (0 when the window had no accesses).
 	L1DMissRate float64 `json:"l1d_miss_rate"`
 	L2MissRate  float64 `json:"l2_miss_rate"`
+
+	// CPI is the windowed cycle-accounting delta (all-zero when accounting
+	// is off); windowed buckets sum to the window's cycle count × slots.
+	CPI account.CPIStack `json:"cpi"`
 }
 
 // SampleSink receives telemetry samples as the machine produces them
@@ -41,18 +47,19 @@ type SampleSink interface {
 // sampleOrigin snapshots the cumulative counters at a window start so the
 // next sample can report deltas.
 type sampleOrigin struct {
-	cycle           int64
-	committedExecs  int64
-	committedBlocks int64
-	waves           int64
-	reexecs         int64
-	flushes         int64
+	cycle              int64
+	committedExecs     int64
+	committedBlocks    int64
+	waves              int64
+	reexecs            int64
+	flushes            int64
 	l1dHits, l1dMisses int64
 	l2Hits, l2Misses   int64
+	acct               account.CPIStack
 }
 
 func (mc *Machine) sampleOriginNow() sampleOrigin {
-	return sampleOrigin{
+	o := sampleOrigin{
 		cycle:           mc.cycle,
 		committedExecs:  mc.stats.CommittedExecs,
 		committedBlocks: mc.committed,
@@ -64,6 +71,10 @@ func (mc *Machine) sampleOriginNow() sampleOrigin {
 		l2Hits:          mc.hier.L2.Stats.Hits,
 		l2Misses:        mc.hier.L2.Stats.Misses,
 	}
+	if mc.acct != nil {
+		o.acct = mc.acct.stack
+	}
+	return o
 }
 
 // SetSampler attaches a telemetry sink sampled every `every` cycles; a nil
@@ -118,6 +129,7 @@ func (mc *Machine) takeSample() {
 		Flushes:         now.flushes - base.flushes,
 		L1DMissRate:     rate(now.l1dMisses-base.l1dMisses, now.l1dHits-base.l1dHits),
 		L2MissRate:      rate(now.l2Misses-base.l2Misses, now.l2Hits-base.l2Hits),
+		CPI:             now.acct.Sub(base.acct),
 	}
 	mc.lastSample = s
 	mc.haveSample = true

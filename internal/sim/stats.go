@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/account"
 	"repro/internal/stats"
 )
 
@@ -21,11 +22,11 @@ type Stats struct {
 	CommittedExecs int64 // instructions that had fired in committed blocks
 	SquashedExecs  int64 // executions thrown away by squashes
 
-	Flushes         int64 // violation-triggered pipeline flushes
-	DSRECorrections int64 // violation-triggered selective corrections
-	BranchSquashes  int64
-	StaleMsgs       int64
-	DrainedStores   int64
+	Flushes          int64 // violation-triggered pipeline flushes
+	DSRECorrections  int64 // violation-triggered selective corrections
+	BranchSquashes   int64
+	StaleMsgs        int64
+	DrainedStores    int64
 	FetchStallFrames int64
 	FetchStallLSQ    int64
 	VPIssued         int64 // value-predicted loads delivered at map time
@@ -37,13 +38,20 @@ type Stats struct {
 	WaveReexecs  int64
 	WaveSizeHist stats.Hist
 
+	// Cycle accounting + forensics (populated when EnableAccounting was
+	// called; zero otherwise).  Acct obeys the conservation invariant
+	// Acct.Total() == Cycles × account.SlotsPerCycle, checked under the
+	// dsre_assert tag.
+	Acct      account.CPIStack
+	Forensics account.Summary
+
 	// Substrate stats, snapshot at end of run.
 	Net struct {
 		Messages, Delivered, Hops, QueueWait int64
 	}
 	L1DMissRate float64
 	L2MissRate  float64
-	LSQ struct {
+	LSQ         struct {
 		Loads, Stores, Forwards, PartialForwards int64
 		Violations, SilentStoreHits              int64
 		DeferredPolicy, DeferredMSHR             int64
@@ -70,6 +78,9 @@ func (s *Stats) String() string {
 	if s.WaveCount > 0 {
 		fmt.Fprintf(&b, "waves=%d meanSize=%.2f\n", s.WaveCount,
 			float64(s.WaveReexecs)/float64(s.WaveCount))
+	}
+	if s.Acct.Total() > 0 {
+		fmt.Fprintf(&b, "cpi stack: %s\n", s.Acct.String())
 	}
 	return b.String()
 }
@@ -104,4 +115,19 @@ func (mc *Machine) snapshotStats() {
 	mc.stats.WaveCount = mc.wave.Waves
 	mc.stats.WaveReexecs = mc.wave.Reexecs
 	mc.stats.WaveSizeHist = *mc.wave.SizeHist()
+	if mc.acct != nil {
+		mc.stats.Acct = mc.acct.stack
+		mc.stats.Forensics = mc.acct.forensics.Summarize(mc.wave.WaveSize, mc.stats.Reexecs, acctTopLoads)
+		if assertsEnabled {
+			want := (mc.cycle - mc.acct.startCycle) * account.SlotsPerCycle
+			if total := mc.stats.Acct.Total(); total != want {
+				mc.failAssert("cycle accounting leak: buckets sum to %d, want %d (cycles %d × %d slots)",
+					total, want, mc.cycle-mc.acct.startCycle, account.SlotsPerCycle)
+			}
+		}
+	}
 }
+
+// acctTopLoads caps the per-PC load profiles carried in Stats (and thus in
+// every dsre-report/v1); the full audit totals are unaffected by the cap.
+const acctTopLoads = 16

@@ -257,6 +257,27 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 	}{t.Title, t.header, rows})
 }
 
+// UnmarshalJSON restores a table written by MarshalJSON, so benchmark
+// artifacts can be reloaded and compared against a baseline run.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var v struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	t.Title, t.header, t.rows = v.Title, v.Header, v.Rows
+	return nil
+}
+
+// Header returns the column headers.
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the rendered cell strings, one slice per row.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // GeoMean returns the geometric mean of positive values; zero or negative
 // inputs are skipped (matching how speedup figures treat missing bars).
 func GeoMean(vals []float64) float64 {

@@ -167,6 +167,12 @@ func WriteChromeTrace(w io.Writer, c *trace.Collector, samples []sim.Sample) err
 			Args: map[string]any{"waves": s.Waves, "reexecs": s.Reexecs, "flushes": s.Flushes}})
 		add(chromeEvent{Name: "miss-rate", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
 			Args: map[string]any{"l1d": s.L1DMissRate, "l2": s.L2MissRate}})
+		add(chromeEvent{Name: "cpi", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
+			Args: map[string]any{
+				"commit": s.CPI.Commit, "wave": s.CPI.Wave, "bpred": s.CPI.BPred,
+				"fetch": s.CPI.Fetch, "drain": s.CPI.Drain, "cache_miss": s.CPI.CacheMiss,
+				"issue": s.CPI.Issue, "noc": s.CPI.NoC,
+			}})
 	}
 
 	enc := json.NewEncoder(w)

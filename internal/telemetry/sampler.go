@@ -79,11 +79,14 @@ func (s *Sampler) Reset() {
 	s.start, s.n, s.total = 0, 0, 0
 }
 
-// csvHeader lists the CSV columns, matching the Sample JSON field names.
+// csvHeader lists the CSV columns, matching the Sample JSON field names
+// (the cpi_* columns flatten the nested windowed CPI stack).
 var csvHeader = []string{
 	"cycle", "window", "ipc", "committed_blocks", "in_flight_blocks",
 	"window_insts", "lsq_occupancy", "noc_pending", "waves", "reexecs",
 	"flushes", "l1d_miss_rate", "l2_miss_rate",
+	"cpi_commit", "cpi_wave", "cpi_bpred", "cpi_fetch", "cpi_drain",
+	"cpi_cache_miss", "cpi_issue", "cpi_noc",
 }
 
 // WriteCSV emits the held windows as CSV with a header row.
@@ -98,10 +101,12 @@ func (s *Sampler) WriteCSV(w io.Writer) error {
 		}
 	}
 	for _, v := range s.Samples() {
-		_, err := fmt.Fprintf(w, "%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			v.Cycle, v.Window, v.IPC, v.CommittedBlocks, v.InFlightBlocks,
 			v.WindowInsts, v.LSQOccupancy, v.NoCPending, v.Waves, v.Reexecs,
-			v.Flushes, v.L1DMissRate, v.L2MissRate)
+			v.Flushes, v.L1DMissRate, v.L2MissRate,
+			v.CPI.Commit, v.CPI.Wave, v.CPI.BPred, v.CPI.Fetch, v.CPI.Drain,
+			v.CPI.CacheMiss, v.CPI.Issue, v.CPI.NoC)
 		if err != nil {
 			return err
 		}

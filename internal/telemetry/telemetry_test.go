@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/account"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -24,6 +25,7 @@ func sample(cycle int64) sim.Sample {
 		CommittedBlocks: 2, InFlightBlocks: 4, WindowInsts: 512,
 		LSQOccupancy: 48, NoCPending: 7, Waves: 1, Reexecs: 3,
 		L1DMissRate: 0.125, L2MissRate: 0.5,
+		CPI: account.CPIStack{Commit: 60, Wave: 15, Fetch: 20, NoC: 5},
 	}
 }
 
@@ -255,6 +257,7 @@ func TestRunSamplesWindows(t *testing.T) {
 		t.Fatal("no sample windows")
 	}
 	var committed, reexecs int64
+	var cpi account.CPIStack
 	prev := int64(0)
 	for i, s := range res.Samples {
 		if s.Cycle <= prev {
@@ -263,9 +266,17 @@ func TestRunSamplesWindows(t *testing.T) {
 		if s.Window <= 0 {
 			t.Fatalf("sample %d window %d", i, s.Window)
 		}
+		// Verified runs always account, so each window's CPI buckets must
+		// conserve the window's slot budget exactly.
+		if tot, want := s.CPI.Total(), s.Window*account.SlotsPerCycle; tot != want {
+			t.Fatalf("sample %d CPI window total %d, want %d", i, tot, want)
+		}
 		prev = s.Cycle
 		committed += s.CommittedBlocks
 		reexecs += s.Reexecs
+		for b := account.Bucket(0); b < account.NumBuckets; b++ {
+			cpi.Add(b, s.CPI.Get(b))
+		}
 	}
 	// Windowed deltas must sum back to the run totals (the final partial
 	// window flush guarantees full coverage).
@@ -274,5 +285,8 @@ func TestRunSamplesWindows(t *testing.T) {
 	}
 	if reexecs != res.Reexecs {
 		t.Errorf("sum of windowed reexecs = %d, run total %d", reexecs, res.Reexecs)
+	}
+	if cpi != res.Sim.Acct {
+		t.Errorf("sum of windowed CPI stacks = %+v, run stack %+v", cpi, res.Sim.Acct)
 	}
 }

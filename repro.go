@@ -155,12 +155,12 @@ func (r *Result) Report() *telemetry.Report {
 // reports them.
 func Schemes() []string {
 	return []string{
-		"conservative",    // loads wait for all older stores; never speculates
+		"conservative",     // loads wait for all older stores; never speculates
 		"aggressive+flush", // speculate always; flush on violation
-		"storeset+flush",  // store-set predictor; flush on violation
-		"dsre",            // speculate always; selective re-execution (the paper's protocol)
-		"storeset+dsre",   // store-set predictor; selective re-execution
-		"oracle",          // perfect dependence oracle (upper bound)
+		"storeset+flush",   // store-set predictor; flush on violation
+		"dsre",             // speculate always; selective re-execution (the paper's protocol)
+		"storeset+dsre",    // store-set predictor; selective re-execution
+		"oracle",           // perfect dependence oracle (upper bound)
 	}
 }
 
@@ -406,6 +406,10 @@ func runVerified(ctx context.Context, cfg Config, scheme string, policy core.Iss
 	if err != nil {
 		return nil, err
 	}
+	// Cycle accounting + forensics are always on for verified runs: the
+	// overhead is a few counter compares per cycle, and every
+	// dsre-report/v1 gets a CPI stack and per-load audit for free.
+	mc.EnableAccounting()
 	var collector *trace.Collector
 	if cfg.Trace {
 		collector = &trace.Collector{}
