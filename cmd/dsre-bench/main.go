@@ -50,6 +50,13 @@ type artifact struct {
 	Tables    []*stats.Table     `json:"tables"`
 	Headlines map[string]float64 `json:"headlines,omitempty"`
 	ElapsedMS int64              `json:"elapsed_ms"`
+	// Simulator throughput attributed to this experiment: live (non-cached)
+	// simulated cycles and wall time since the previous artifact, and their
+	// quotient.  A fully cached group records zeros and omits the rate —
+	// the figures measure the harness, so -baseline never compares them.
+	SimCycles     int64   `json:"sim_cycles"`
+	SimWallMS     float64 `json:"sim_wall_ms"`
+	McyclesPerSec float64 `json:"mcycles_per_sec,omitempty"`
 }
 
 func main() {
@@ -134,6 +141,8 @@ func main() {
 	start := time.Now()
 	ran := 0
 	regressions := 0
+	var tallyCycles int64
+	var tallyWall time.Duration
 	// emit prints an experiment's tables, writes its BENCH artifact, and
 	// (under -baseline) diffs the run against the recorded artifact.
 	emit := func(id string, headlines map[string]float64, tables ...*stats.Table) {
@@ -141,10 +150,20 @@ func main() {
 			fmt.Println(t)
 		}
 		ran++
+		// Experiment arguments are evaluated before emit runs, so the tally
+		// delta since the last artifact is this experiment's live simulation
+		// work (for shared runs like E2/E3, the first artifact carries it).
+		cyc, wall := eng.Tally()
+		dCycles, dWall := cyc-tallyCycles, wall-tallyWall
+		tallyCycles, tallyWall = cyc, wall
 		a := artifact{
 			Schema: artifactSchema, ID: id, Quick: *quick,
 			Tables: tables, Headlines: headlines,
 			ElapsedMS: time.Since(start).Milliseconds(),
+			SimCycles: dCycles, SimWallMS: float64(dWall.Microseconds()) / 1e3,
+		}
+		if dWall > 0 {
+			a.McyclesPerSec = float64(dCycles) / 1e6 / dWall.Seconds()
 		}
 		if *baseline != "" {
 			base, err := loadBaseline(*baseline, id)
@@ -245,7 +264,13 @@ func main() {
 			*only, strings.Join(experiments.IDs(), ","))
 		os.Exit(1)
 	}
-	fmt.Printf("(%d experiment groups in %v)\n", ran, time.Since(start).Round(time.Millisecond))
+	if totCycles, totWall := eng.Tally(); totWall > 0 {
+		fmt.Printf("(%d experiment groups in %v; %.0fM cycles simulated at %.1f Mcycles/s)\n",
+			ran, time.Since(start).Round(time.Millisecond),
+			float64(totCycles)/1e6, float64(totCycles)/1e6/totWall.Seconds())
+	} else {
+		fmt.Printf("(%d experiment groups in %v; all points cached)\n", ran, time.Since(start).Round(time.Millisecond))
+	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "dsre-bench: %d metrics moved beyond -tolerance %.1f%% vs %s\n",
 			regressions, 100**tolerance, *baseline)

@@ -22,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/telemetry"
@@ -79,12 +80,18 @@ func main() {
 	cfg.Trace = *timeline || *traceOut != ""
 	for _, s := range schemes {
 		cfg.Scheme = s
+		simStart := time.Now()
 		res, err := repro.Run(cfg)
+		simWall := time.Since(simStart)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dsre-sim: %v\n", err)
 			os.Exit(1)
 		}
 		report(res)
+		if simWall > 0 {
+			fmt.Printf("  host: %v wall, %.1f Mcycles/s\n",
+				simWall.Round(time.Millisecond), float64(res.Cycles)/1e6/simWall.Seconds())
+		}
 		if len(res.Samples) > 0 {
 			fmt.Printf("  telemetry: %d sample windows (every %d cycles)\n",
 				len(res.Samples), cfg.SampleEvery)
@@ -95,7 +102,9 @@ func main() {
 		}
 		if *jsonOut != "" {
 			path := schemePath(*jsonOut, s, *all)
-			if err := res.Report().WriteFile(path); err != nil {
+			rep := res.Report()
+			rep.StampWall(simWall)
+			if err := rep.WriteFile(path); err != nil {
 				fmt.Fprintf(os.Stderr, "dsre-sim: %v\n", err)
 				os.Exit(1)
 			}

@@ -78,7 +78,7 @@ func DefaultConfig() Config {
 		DeterminismPkgs: []string{
 			"internal/sim", "internal/core", "internal/lsq", "internal/noc",
 			"internal/mem", "internal/predictor", "internal/cache", "internal/emu",
-			"internal/account",
+			"internal/account", "internal/sched",
 		},
 		SimPkg:          "internal/sim",
 		ConfigType:      "Config",
@@ -94,6 +94,7 @@ func DefaultConfig() Config {
 			"internal/sim.msgKind",
 			"internal/sim.PlacementKind",
 			"internal/sim.BlockPredKind",
+			"internal/sim.fetchAction",
 			"internal/isa.Opcode",
 			"internal/isa.Slot",
 			"internal/isa.TargetKind",

@@ -76,6 +76,8 @@ func (q *Queue) tryIssue(now int64, e *entry) LoadResult {
 	e.issued = true
 	e.deferred = false
 	e.data = v
+	// Issuing is one of the conditions certification waits on.
+	q.certDirty = true
 	return LoadResult{Value: v, Tag: e.tag, Latency: lat, PC: e.pc}
 }
 
@@ -136,17 +138,27 @@ func (q *Queue) anyOlderStoreUnexecuted(k Key) bool {
 	return false
 }
 
-// TakeReady re-evaluates parked loads and returns those that can now issue.
-// Call once per cycle; it is cheap when nothing changed.  Loads parked on a
-// full MSHR file are retried every cycle regardless of queue events.
-func (q *Queue) TakeReady(now int64) []ReadyLoad {
-	if (!q.dirty && !q.mshrWait) || len(q.deferred) == 0 {
+// HasReadyWork reports whether the next TakeReady call will re-evaluate
+// parked loads (as opposed to returning immediately).  The event-driven
+// run loop uses it to classify a cycle as active: a re-evaluation scan can
+// issue loads or count deferral retries even when it returns nothing.
+func (q *Queue) HasReadyWork() bool {
+	return (q.dirty || q.mshrWait) && len(q.deferred) > 0
+}
+
+// TakeReady re-evaluates parked loads and returns those that can now issue,
+// appending into buf (pass buf[:0] to reuse a scratch buffer; the result
+// must be consumed before the next call).  Call once per cycle; it is cheap
+// when nothing changed.  Loads parked on a full MSHR file are retried every
+// cycle regardless of queue events.
+func (q *Queue) TakeReady(now int64, buf []ReadyLoad) []ReadyLoad {
+	if !q.HasReadyWork() {
 		q.dirty = false
-		return nil
+		return buf
 	}
 	q.dirty = false
 	q.mshrWait = false
-	var out []ReadyLoad
+	out := buf
 	kept := q.deferred[:0]
 	for _, k := range q.deferred {
 		e := q.get(k)
@@ -175,6 +187,7 @@ func (q *Queue) LoadInputsCommitted(k Key) {
 	e.inputsCommitted = true
 	q.certCand = append(q.certCand, k)
 	q.dirty = true
+	q.certDirty = true
 }
 
 // CertifiedLoad is a load whose value is final.
@@ -185,14 +198,19 @@ type CertifiedLoad struct {
 }
 
 // TakeCertifiable returns loads that are newly certifiable: issued, address
-// final, and every older store committed.  The returned value is asserted
-// equal to the load's current value — every store update re-checked younger
-// loads, so a mismatch here would be a protocol bug.
-func (q *Queue) TakeCertifiable() []CertifiedLoad {
-	if len(q.certCand) == 0 {
-		return nil
+// final, and every older store committed — appending into buf (pass buf[:0]
+// to reuse a scratch buffer).  The returned value is asserted equal to the
+// load's current value — every store update re-checked younger loads, so a
+// mismatch here would be a protocol bug.
+func (q *Queue) TakeCertifiable(buf []CertifiedLoad) []CertifiedLoad {
+	if len(q.certCand) == 0 || !q.certDirty {
+		// Nothing to certify, or nothing relevant changed since the last
+		// scan: skipping is behaviour-identical (a yield-less scan moves no
+		// statistics) and avoids the O(candidates × stores) walk.
+		return buf
 	}
-	var out []CertifiedLoad
+	q.certDirty = false
+	out := buf
 	kept := q.certCand[:0]
 	for _, k := range q.certCand {
 		e := q.get(k)

@@ -155,10 +155,21 @@ type Queue struct {
 	blocks   []*blockOps // ascending seq
 	bySeq    map[int64]*blockOps
 	resident int // entries across blocks, maintained incrementally (occupancy is read every cycle)
+	// free recycles drained/squashed blockOps (and their entry arrays) so
+	// steady-state block turnover does not allocate.
+	free []*blockOps
 
 	deferred []Key // parked loads, re-evaluated when dirty
 	dirty    bool
 	mshrWait bool // some load parked on MSHR pressure; retry every cycle
+
+	// certDirty gates TakeCertifiable's scan: a parked certification
+	// candidate can only become certifiable when a store commits, executes,
+	// nullifies or leaves the window, a load issues, or a new candidate
+	// arrives — every such mutation sets it.  A scan that yields nothing has
+	// no side effects, so skipping it while the flag is clear is
+	// behaviour-identical and avoids an O(loads × stores) rescan per cycle.
+	certDirty bool
 
 	// guard holds dynamic loads that violated and were flushed: their
 	// refetched instances (same key) replay conservatively, which is what
@@ -197,13 +208,37 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, tags *core.TagSource,
 	}
 }
 
+// takeBlockOps pops a recycled blockOps (or allocates one) with a cleared
+// entry slice of length n.
+func (q *Queue) takeBlockOps(n int) *blockOps {
+	if len(q.free) == 0 {
+		return &blockOps{ops: make([]entry, n)}
+	}
+	b := q.free[len(q.free)-1]
+	q.free[len(q.free)-1] = nil
+	q.free = q.free[:len(q.free)-1]
+	if cap(b.ops) < n {
+		b.ops = make([]entry, n)
+	} else {
+		b.ops = b.ops[:n]
+		clear(b.ops)
+	}
+	b.uncommittedStores = 0
+	return b
+}
+
+func (q *Queue) releaseBlockOps(b *blockOps) {
+	q.free = append(q.free, b)
+}
+
 // RegisterBlock reserves entries for a block's memory operations at map
 // time.  Blocks must be registered in ascending sequence order.
 func (q *Queue) RegisterBlock(seq int64, ops []OpInfo) {
 	if len(q.blocks) > 0 && q.blocks[len(q.blocks)-1].seq >= seq {
 		panic(fmt.Sprintf("lsq: block %d registered after %d", seq, q.blocks[len(q.blocks)-1].seq))
 	}
-	b := &blockOps{seq: seq, ops: make([]entry, len(ops))}
+	b := q.takeBlockOps(len(ops))
+	b.seq = seq
 	for i, op := range ops {
 		if int(op.LSID) != i {
 			panic(fmt.Sprintf("lsq: block %d ops not dense at %d", seq, i))
@@ -253,14 +288,19 @@ func (q *Queue) SquashFrom(seq int64) {
 		if b.seq >= seq {
 			delete(q.bySeq, b.seq)
 			q.resident -= len(b.ops)
+			q.releaseBlockOps(b)
 		} else {
 			kept = append(kept, b)
 		}
+	}
+	for i := len(kept); i < len(q.blocks); i++ {
+		q.blocks[i] = nil
 	}
 	q.blocks = kept
 	q.filterKeys(&q.deferred, seq)
 	q.filterKeys(&q.certCand, seq)
 	q.dirty = true
+	q.certDirty = true
 }
 
 func (q *Queue) filterKeys(keys *[]Key, fromSeq int64) {

@@ -190,11 +190,11 @@ func TestConservativeDefersUntilStoresExecute(t *testing.T) {
 	if !r.Deferred || r.Reason != DeferPolicy {
 		t.Fatalf("r = %+v", r)
 	}
-	if got := q.TakeReady(1); got != nil {
+	if got := q.TakeReady(1, nil); got != nil {
 		t.Fatalf("load released early: %v", got)
 	}
 	q.StoreUpdate(Key{0, 0}, 0x300, 1, 0, false, false) // disjoint address, but now executed
-	ready := q.TakeReady(2)
+	ready := q.TakeReady(2, nil)
 	if len(ready) != 1 || ready[0].Res.Value != 7 {
 		t.Fatalf("ready = %+v", ready)
 	}
@@ -245,7 +245,7 @@ func TestStoreSetPolicyLearns(t *testing.T) {
 		t.Fatal("trained store-set load did not defer")
 	}
 	q.StoreUpdate(Key{1, 0}, 0x100, 43, 0, false, false)
-	ready := q.TakeReady(1)
+	ready := q.TakeReady(1, nil)
 	if len(ready) != 1 || ready[0].Res.Value != 43 {
 		t.Fatalf("ready = %+v", ready)
 	}
@@ -274,7 +274,7 @@ func TestOraclePolicy(t *testing.T) {
 		t.Fatalf("independent load: %+v", r2)
 	}
 	q.StoreUpdate(Key{0, 0}, 0x100, 42, 0, false, false)
-	ready := q.TakeReady(1)
+	ready := q.TakeReady(1, nil)
 	if len(ready) != 1 || ready[0].Res.Value != 42 {
 		t.Fatalf("ready = %+v", ready)
 	}
@@ -289,20 +289,20 @@ func TestCertificationWaitsForOlderStores(t *testing.T) {
 	regBlock(q, 0, OpInfo{IsStore: true}, OpInfo{})
 	q.LoadTry(0, Key{0, 1}, 0x100, 0)
 	q.LoadInputsCommitted(Key{0, 1})
-	if cs := q.TakeCertifiable(); len(cs) != 0 {
+	if cs := q.TakeCertifiable(nil); len(cs) != 0 {
 		t.Fatalf("certified before older store committed: %v", cs)
 	}
 	q.StoreUpdate(Key{0, 0}, 0x300, 1, 0, false, false)
-	if cs := q.TakeCertifiable(); len(cs) != 0 {
+	if cs := q.TakeCertifiable(nil); len(cs) != 0 {
 		t.Fatalf("certified before older store committed: %v", cs)
 	}
 	q.StoreCommitted(Key{0, 0})
-	cs := q.TakeCertifiable()
+	cs := q.TakeCertifiable(nil)
 	if len(cs) != 1 || cs[0].Value != 7 {
 		t.Fatalf("certifiable = %+v", cs)
 	}
 	// Idempotent.
-	if cs := q.TakeCertifiable(); len(cs) != 0 {
+	if cs := q.TakeCertifiable(nil); len(cs) != 0 {
 		t.Fatalf("double certification: %v", cs)
 	}
 }
@@ -314,13 +314,13 @@ func TestCertificationAcrossBlocks(t *testing.T) {
 	regBlock(q, 1, OpInfo{})
 	q.LoadTry(0, Key{1, 0}, 0x100, 0)
 	q.LoadInputsCommitted(Key{1, 0})
-	if cs := q.TakeCertifiable(); len(cs) != 0 {
+	if cs := q.TakeCertifiable(nil); len(cs) != 0 {
 		t.Fatal("certified across uncommitted older block")
 	}
 	q.StoreUpdate(Key{0, 0}, 0x100, 5, 0, false, false)
 	// The violation correction happened; now commit the store.
 	q.StoreCommitted(Key{0, 0})
-	cs := q.TakeCertifiable()
+	cs := q.TakeCertifiable(nil)
 	if len(cs) != 1 || cs[0].Value != 5 {
 		t.Fatalf("certifiable = %+v", cs)
 	}
@@ -423,7 +423,7 @@ func TestFlushGuardForcesConservativeReplay(t *testing.T) {
 		t.Fatal("guarded replay issued aggressively")
 	}
 	q.StoreUpdate(Key{0, 0}, 0x100, 42, 0, false, false)
-	ready := q.TakeReady(2)
+	ready := q.TakeReady(2, nil)
 	if len(ready) != 1 || ready[0].Res.Value != 42 {
 		t.Fatalf("ready = %+v", ready)
 	}
@@ -451,13 +451,13 @@ func TestPartialStoreCommitReleasesDisjointLoads(t *testing.T) {
 	q.StoreUpdate(Key{0, 1}, 0x100, 42, 0, true, false) // overlapping, data pending
 	q.LoadTry(0, Key{0, 2}, 0x100, 0)
 	q.LoadInputsCommitted(Key{0, 2})
-	if cs := q.TakeCertifiable(); len(cs) != 0 {
+	if cs := q.TakeCertifiable(nil); len(cs) != 0 {
 		t.Fatalf("certified past an overlapping uncommitted store: %v", cs)
 	}
 	// Commit the overlapping store's data: only then may the load certify,
 	// without waiting for the disjoint store's data at all.
 	q.StoreUpdate(Key{0, 1}, 0x100, 42, 0, true, true)
-	cs := q.TakeCertifiable()
+	cs := q.TakeCertifiable(nil)
 	if len(cs) != 1 || cs[0].Value != 42 {
 		t.Fatalf("certifiable = %+v", cs)
 	}

@@ -39,6 +39,7 @@ func (q *Queue) StoreUpdate(k Key, addr uint64, data int64, tag core.Tag, addrCo
 		}
 	}
 	q.dirty = true
+	q.certDirty = true
 
 	// Affected range: where the store's bytes used to land plus where they
 	// land now.
@@ -72,6 +73,7 @@ func (q *Queue) StoreNullify(k Key) []Violation {
 		}
 	}
 	q.dirty = true
+	q.certDirty = true
 	if wasLive {
 		return q.recheckLoads(k, oldAddr, oldSize, nil)
 	}
@@ -194,6 +196,7 @@ func (q *Queue) markStoreCommitted(e *entry) {
 		b.uncommittedStores--
 	}
 	q.dirty = true
+	q.certDirty = true
 }
 
 // Drain applies the oldest block's stores to committed memory in LSID
@@ -233,8 +236,14 @@ func (q *Queue) Drain(seq int64) int {
 		}
 	}
 	delete(q.bySeq, seq)
-	q.blocks = q.blocks[1:]
+	// Compact in place: reslicing away the head would leak the backing
+	// array's capacity and make the steady-state append reallocate.
+	m := copy(q.blocks, q.blocks[1:])
+	q.blocks[m] = nil
+	q.blocks = q.blocks[:m]
 	q.resident -= len(b.ops)
+	q.releaseBlockOps(b)
 	q.dirty = true
+	q.certDirty = true
 	return writes
 }

@@ -7,9 +7,17 @@
 // their contents.  Links preserve FIFO order, but messages taking different
 // routes may be reordered — the DSRE protocol's wave tags are what make that
 // safe, and the simulator's tests rely on it.
+//
+// Ticking is activity-tracked: an index of routers with resident flits
+// (non-empty out or in-transit queues) lets Tick visit only live routers,
+// in ascending node order so results are bit-identical to the dense scan
+// (Config.DenseTick restores the dense scan for differential testing).
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Dir is a mesh link direction.
 type dir int
@@ -33,6 +41,10 @@ type Config struct {
 	// LocalLatency is the delivery delay for messages whose source and
 	// destination coincide (same-tile bypass); >= 1.
 	LocalLatency int
+	// DenseTick makes Tick scan every router instead of only the active
+	// ones — the reference path the active-index bookkeeping is verified
+	// against (sim.Config.SlowTick selects it).
+	DenseTick bool
 }
 
 // Stats counts network activity.
@@ -59,6 +71,9 @@ type router[T any] struct {
 	// inTransit holds flits this router has transmitted that have not yet
 	// reached the neighbouring router.
 	inTransit [numDirs][]transit[T]
+	// resident counts flits across out and inTransit; the active index
+	// tracks resident > 0.
+	resident int
 }
 
 // Network is the mesh.  Deliver is invoked during Tick for every message
@@ -67,9 +82,15 @@ type Network[T any] struct {
 	cfg     Config
 	routers []router[T]
 	local   []transit[T] // src==dst messages awaiting local delivery
-	deliver func(now int64, node int, msg T)
-	pending int
-	Stats   Stats
+	// localSpare is the detached buffer Tick swaps with local, so local
+	// delivery with stragglers does not reallocate every cycle.
+	localSpare []transit[T]
+	deliver    func(now int64, node int, msg T)
+	pending    int
+	// active is a bitmask over routers with resident flits, iterated in
+	// ascending node order to match the dense scan exactly.
+	active []uint64
+	Stats  Stats
 }
 
 // New builds a mesh network.  deliver must not call back into Send
@@ -87,9 +108,11 @@ func New[T any](cfg Config, deliver func(now int64, node int, msg T)) (*Network[
 	if cfg.LocalLatency < 1 {
 		return nil, fmt.Errorf("noc: local latency %d < 1", cfg.LocalLatency)
 	}
+	n := cfg.Width * cfg.Height
 	return &Network[T]{
 		cfg:     cfg,
-		routers: make([]router[T], cfg.Width*cfg.Height),
+		routers: make([]router[T], n),
+		active:  make([]uint64, (n+63)/64),
 		deliver: deliver,
 	}, nil
 }
@@ -116,6 +139,23 @@ func abs(v int) int {
 	return v
 }
 
+// addResident and subResident maintain the active-router index.
+func (n *Network[T]) addResident(node int) {
+	r := &n.routers[node]
+	if r.resident == 0 {
+		n.active[node>>6] |= 1 << (uint(node) & 63)
+	}
+	r.resident++
+}
+
+func (n *Network[T]) subResident(node int) {
+	r := &n.routers[node]
+	r.resident--
+	if r.resident == 0 {
+		n.active[node>>6] &^= 1 << (uint(node) & 63)
+	}
+}
+
 // Send injects a message at src destined for dst.
 func (n *Network[T]) Send(now int64, src, dst int, msg T) {
 	n.Stats.Messages++
@@ -129,6 +169,7 @@ func (n *Network[T]) Send(now int64, src, dst int, msg T) {
 	}
 	d := n.route(src, dst)
 	n.routers[src].out[d] = append(n.routers[src].out[d], flit[T]{msg: msg, dst: dst, enqueued: now})
+	n.addResident(src)
 }
 
 // route picks the next direction from node toward dst (X first, then Y).
@@ -164,76 +205,192 @@ func (n *Network[T]) neighbor(node int, d dir) int {
 }
 
 // Tick advances the network one cycle: arrivals are processed (delivered or
-// forwarded), then each link transmits up to its bandwidth.
-func (n *Network[T]) Tick(now int64) {
+// forwarded), then each link transmits up to its bandwidth.  It reports
+// whether anything moved — false means the cycle was a provable no-op (all
+// resident flits, if any, are still in transit toward a future cycle).
+func (n *Network[T]) Tick(now int64) bool {
+	moved := false
+
 	// Local deliveries.  The deliver callback may Send again (including to
 	// the same node), so the pending list is detached before iterating —
 	// a compact-in-place filter would silently drop messages enqueued
-	// during delivery.
-	pending := n.local
-	n.local = nil
-	for _, t := range pending {
-		if t.arriveAt <= now {
-			n.Stats.Delivered++
-			n.pending--
-			n.deliver(now, t.flit.dst, t.flit.msg)
-		} else {
-			n.local = append(n.local, t)
+	// during delivery.  The detached buffer is recycled via localSpare.
+	if len(n.local) > 0 {
+		pending := n.local
+		n.local = n.localSpare[:0]
+		for i := range pending {
+			t := &pending[i]
+			if t.arriveAt <= now {
+				n.Stats.Delivered++
+				n.pending--
+				n.deliver(now, t.flit.dst, t.flit.msg)
+				moved = true
+			} else {
+				n.local = append(n.local, *t)
+			}
 		}
+		n.localSpare = pending[:0]
 	}
 
-	// Arrivals at the far end of each link.
-	for node := range n.routers {
-		r := &n.routers[node]
-		for d := dir(0); d < numDirs; d++ {
-			ts := r.inTransit[d]
-			if len(ts) == 0 {
-				continue
+	// Arrivals at the far end of each link, then transmissions bounded by
+	// link bandwidth.  Arrival forwarding only appends to out queues (never
+	// to inTransit), and transmission only moves flits within one router,
+	// so visiting routers in ascending order — dense or via the index —
+	// processes exactly the same flits in the same order.
+	if n.cfg.DenseTick {
+		for node := range n.routers {
+			if n.tickArrivals(now, node) {
+				moved = true
 			}
-			keep := ts[:0]
-			for _, t := range ts {
-				if t.arriveAt > now {
-					keep = append(keep, t)
-					continue
-				}
-				at := n.neighbor(node, d)
-				if at == t.flit.dst {
-					n.Stats.Delivered++
-					n.pending--
-					n.deliver(now, at, t.flit.msg)
-					continue
-				}
-				nd := n.route(at, t.flit.dst)
-				t.flit.enqueued = now
-				n.routers[at].out[nd] = append(n.routers[at].out[nd], t.flit)
+		}
+		for node := range n.routers {
+			if n.tickTransmit(now, node) {
+				moved = true
 			}
-			r.inTransit[d] = keep
+		}
+		return moved
+	}
+	for w, word := range n.active {
+		// The word is snapshotted: arrivals may activate routers ahead of
+		// the scan, but a freshly activated router has an empty inTransit,
+		// so skipping it matches the dense scan's no-op visit.
+		for word != 0 {
+			node := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if n.tickArrivals(now, node) {
+				moved = true
+			}
 		}
 	}
-
-	// Transmissions, bounded by link bandwidth.
-	for node := range n.routers {
-		r := &n.routers[node]
-		for d := dir(0); d < numDirs; d++ {
-			q := r.out[d]
-			if len(q) == 0 {
-				continue
+	for w, word := range n.active {
+		// Transmission never touches other routers, and routers activated
+		// by the arrival phase hold only out-queue flits enqueued *this*
+		// cycle — the dense scan would visit them, find enqueued == now
+		// flits, and transmit them.  So the transmit phase must see bits
+		// set during the arrival phase: the live mask is re-read here, and
+		// within a word the snapshot is safe because tickTransmit never
+		// sets or clears any bit (resident counts are unchanged).
+		for word != 0 {
+			node := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if n.tickTransmit(now, node) {
+				moved = true
 			}
-			k := n.cfg.LinkBandwidth
-			if k > len(q) {
-				k = len(q)
-			}
-			for i := 0; i < k; i++ {
-				f := q[i]
-				n.Stats.Hops++
-				n.Stats.QueueWait += now - f.enqueued
-				r.inTransit[d] = append(r.inTransit[d], transit[T]{flit: f, arriveAt: now + int64(n.cfg.HopLatency)})
-			}
-			m := copy(q, q[k:])
-			r.out[d] = q[:m]
 		}
 	}
+	return moved
 }
+
+// tickArrivals processes one router's due in-transit flits: delivery at the
+// destination, or forwarding into the next router's out queue.
+func (n *Network[T]) tickArrivals(now int64, node int) bool {
+	r := &n.routers[node]
+	moved := false
+	for d := dir(0); d < numDirs; d++ {
+		ts := r.inTransit[d]
+		if len(ts) == 0 {
+			continue
+		}
+		// Flits are large (the payload is an operand message); iterate by
+		// pointer and compact in place so kept flits are only moved when a
+		// removal ahead of them opened a gap.  Forwarding and delivery only
+		// append to out queues and the local list, never to any inTransit,
+		// so ts stays valid throughout.
+		keep := 0
+		for i := range ts {
+			t := &ts[i]
+			if t.arriveAt > now {
+				if keep != i {
+					ts[keep] = *t
+				}
+				keep++
+				continue
+			}
+			moved = true
+			n.subResident(node)
+			at := n.neighbor(node, d)
+			if at == t.flit.dst {
+				n.Stats.Delivered++
+				n.pending--
+				n.deliver(now, at, t.flit.msg)
+				continue
+			}
+			nd := n.route(at, t.flit.dst)
+			t.flit.enqueued = now
+			n.routers[at].out[nd] = append(n.routers[at].out[nd], t.flit)
+			n.addResident(at)
+		}
+		r.inTransit[d] = ts[:keep]
+	}
+	return moved
+}
+
+// tickTransmit moves up to LinkBandwidth flits per out queue onto the link.
+func (n *Network[T]) tickTransmit(now int64, node int) bool {
+	r := &n.routers[node]
+	moved := false
+	for d := dir(0); d < numDirs; d++ {
+		q := r.out[d]
+		if len(q) == 0 {
+			continue
+		}
+		moved = true
+		k := n.cfg.LinkBandwidth
+		if k > len(q) {
+			k = len(q)
+		}
+		arriveAt := now + int64(n.cfg.HopLatency)
+		for i := 0; i < k; i++ {
+			n.Stats.Hops++
+			n.Stats.QueueWait += now - q[i].enqueued
+			r.inTransit[d] = append(r.inTransit[d], transit[T]{flit: q[i], arriveAt: arriveAt})
+		}
+		m := copy(q, q[k:])
+		r.out[d] = q[:m]
+	}
+	return moved
+}
+
+// NextEvent returns the earliest cycle >= now at which Tick would move
+// anything: now itself if any out queue holds a flit (it transmits this
+// cycle), otherwise the earliest in-transit or local arrival.  With nothing
+// pending it returns Never.
+func (n *Network[T]) NextEvent(now int64) int64 {
+	if n.pending == 0 {
+		return Never
+	}
+	next := Never
+	for _, t := range n.local {
+		if t.arriveAt < next {
+			next = t.arriveAt
+		}
+	}
+	for w, word := range n.active {
+		for word != 0 {
+			node := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			r := &n.routers[node]
+			for d := dir(0); d < numDirs; d++ {
+				if len(r.out[d]) > 0 {
+					return now
+				}
+				for _, t := range r.inTransit[d] {
+					if t.arriveAt < next {
+						next = t.arriveAt
+					}
+				}
+			}
+		}
+	}
+	if next < now {
+		next = now
+	}
+	return next
+}
+
+// Never is NextEvent's "no pending event" sentinel, far beyond any cycle
+// budget.
+const Never = int64(1) << 62
 
 // Pending returns the number of messages in flight (injected, not yet
 // delivered); zero means the network is quiet.

@@ -1,6 +1,8 @@
 package noc
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -197,5 +199,133 @@ func BenchmarkMeshThroughput(b *testing.B) {
 	// Drain so Pending doesn't grow unboundedly across -benchtime runs.
 	for c := int64(b.N); n.Pending() > 0; c++ {
 		n.Tick(c)
+	}
+}
+
+// TestIndexedTickMatchesDense is the active-router index's differential
+// property test: under randomized traffic — bursts, quiet gaps, src==dst
+// local bypass, repeated sources — the indexed Tick must deliver the same
+// messages in the same order at the same cycles as the dense scan, with
+// identical Pending() and Stats at every cycle boundary.
+func TestIndexedTickMatchesDense(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			Width:         2 + rng.Intn(4),
+			Height:        2 + rng.Intn(4),
+			HopLatency:    1 + rng.Intn(3),
+			LinkBandwidth: 1 + rng.Intn(3),
+			LocalLatency:  1 + rng.Intn(2),
+		}
+		dcfg := cfg
+		dcfg.DenseTick = true
+
+		var fastLog, denseLog []rec
+		fast, err := New[int](cfg, func(now int64, node int, msg int) {
+			fastLog = append(fastLog, rec{now, node, msg})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := New[int](dcfg, func(now int64, node int, msg int) {
+			denseLog = append(denseLog, rec{now, node, msg})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		nodes := cfg.Width * cfg.Height
+		msg := 0
+		for cycle := int64(0); cycle < 120; cycle++ {
+			// Bursty injection: quiet stretches exercise the empty-index
+			// path, bursts exercise link contention and multi-activation.
+			k := 0
+			switch rng.Intn(4) {
+			case 0:
+				k = rng.Intn(6)
+			case 1:
+				k = rng.Intn(2)
+			}
+			for i := 0; i < k; i++ {
+				src := rng.Intn(nodes)
+				dst := src // src==dst local bypass, deliberately common
+				if rng.Intn(3) != 0 {
+					dst = rng.Intn(nodes)
+				}
+				msg++
+				fast.Send(cycle, src, dst, msg)
+				dense.Send(cycle, src, dst, msg)
+			}
+			fast.Tick(cycle)
+			dense.Tick(cycle)
+			if fast.Pending() != dense.Pending() {
+				t.Logf("seed %d cycle %d: pending fast=%d dense=%d", seed, cycle, fast.Pending(), dense.Pending())
+				return false
+			}
+			if fast.Stats != dense.Stats {
+				t.Logf("seed %d cycle %d: stats fast=%+v dense=%+v", seed, cycle, fast.Stats, dense.Stats)
+				return false
+			}
+		}
+		// Drain both networks.
+		for cycle := int64(120); fast.Pending() > 0 || dense.Pending() > 0; cycle++ {
+			fast.Tick(cycle)
+			dense.Tick(cycle)
+			if cycle > 10000 {
+				t.Logf("seed %d: networks failed to drain", seed)
+				return false
+			}
+		}
+		if fast.Stats != dense.Stats {
+			t.Logf("seed %d: final stats fast=%+v dense=%+v", seed, fast.Stats, dense.Stats)
+			return false
+		}
+		if !reflect.DeepEqual(fastLog, denseLog) {
+			t.Logf("seed %d: delivery logs diverge (fast %d, dense %d deliveries)", seed, len(fastLog), len(denseLog))
+			return false
+		}
+		return true
+	}
+	qc := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		qc.MaxCount = 8
+	}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNextEventAgreesWithTick pins NextEvent's contract on random traffic:
+// whenever the network is pending, ticking cycles strictly before
+// NextEvent's answer moves nothing, and ticking at it moves something.
+func TestNextEventAgreesWithTick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := Config{Width: 4, Height: 4, HopLatency: 3, LinkBandwidth: 2, LocalLatency: 2}
+	n, _ := newTestNet(t, cfg)
+	cycle := int64(0)
+	for round := 0; round < 200; round++ {
+		for i := rng.Intn(3); i > 0; i-- {
+			n.Send(cycle, rng.Intn(16), rng.Intn(16), round)
+		}
+		if n.Pending() == 0 {
+			if got := n.NextEvent(cycle); got != Never {
+				t.Fatalf("cycle %d: quiet network reports next event %d", cycle, got)
+			}
+			cycle++
+			continue
+		}
+		next := n.NextEvent(cycle)
+		if next < cycle || next == Never {
+			t.Fatalf("cycle %d: pending network reports next event %d", cycle, next)
+		}
+		for ; cycle < next; cycle++ {
+			if n.Tick(cycle) {
+				t.Fatalf("cycle %d: movement before predicted next event %d", cycle, next)
+			}
+		}
+		if !n.Tick(next) {
+			t.Fatalf("cycle %d: no movement at predicted next event", next)
+		}
+		cycle = next + 1
 	}
 }

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestFIFOWithinCycle pins the determinism contract: events at the same
+// cycle pop in insertion order.
+func TestFIFOWithinCycle(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(7, i)
+	}
+	for i := 0; i < 100; i++ {
+		at, v := q.Pop()
+		if at != 7 || v != i {
+			t.Fatalf("pop %d: got (at=%d, v=%d), want (7, %d)", i, at, v, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after draining: %d", q.Len())
+	}
+}
+
+// TestOrdering property-checks the full contract against a reference sort:
+// ascending cycle, insertion order within a cycle.
+func TestOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var q Queue[int]
+		type ev struct {
+			at  int64
+			ins int
+		}
+		n := 1 + r.Intn(200)
+		evs := make([]ev, n)
+		for i := range evs {
+			evs[i] = ev{at: int64(r.Intn(20)), ins: i}
+			q.Push(evs[i].at, evs[i].ins)
+		}
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+		for i, want := range evs {
+			if q.Len() == 0 {
+				t.Fatalf("trial %d: queue empty at %d/%d", trial, i, n)
+			}
+			if q.MinAt() != want.at {
+				t.Fatalf("trial %d pop %d: MinAt %d, want %d", trial, i, q.MinAt(), want.at)
+			}
+			at, v := q.Pop()
+			if at != want.at || v != want.ins {
+				t.Fatalf("trial %d pop %d: got (%d, %d), want (%d, %d)", trial, i, at, v, want.at, want.ins)
+			}
+		}
+	}
+}
+
+// TestInterleavedPushPop exercises pops between pushes (the simulator's
+// actual access pattern: drain due events, schedule new ones).
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue[int64]
+	r := rand.New(rand.NewSource(2))
+	now := int64(0)
+	live := 0
+	for step := 0; step < 2000; step++ {
+		for q.Len() > 0 && q.MinAt() <= now {
+			at, v := q.Pop()
+			live--
+			if at != v {
+				t.Fatalf("payload %d popped at %d", v, at)
+			}
+			if at > now {
+				t.Fatalf("pop at %d before its cycle (now %d)", at, now)
+			}
+		}
+		for i := 0; i < r.Intn(4); i++ {
+			at := now + 1 + int64(r.Intn(10))
+			q.Push(at, at)
+			live++
+		}
+		now++
+	}
+	if q.Len() != live {
+		t.Fatalf("length drift: Len %d, live %d", q.Len(), live)
+	}
+}
+
+// TestSteadyStateAllocs pins zero allocations once the backing array has
+// reached its high-water mark.
+func TestSteadyStateAllocs(t *testing.T) {
+	var q Queue[int]
+	// Warm to high-water mark.
+	for i := 0; i < 64; i++ {
+		q.Push(int64(i), i)
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			q.Push(int64(i%8), i)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push/Pop allocates: %.1f allocs/run", allocs)
+	}
+}
+
+// TestReset pins that Reset empties without losing the backing array and
+// the queue remains usable.
+func TestReset(t *testing.T) {
+	var q Queue[string]
+	q.Push(3, "a")
+	q.Push(1, "b")
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset: %d", q.Len())
+	}
+	q.Push(2, "c")
+	if at, v := q.Pop(); at != 2 || v != "c" {
+		t.Fatalf("pop after Reset: (%d, %q)", at, v)
+	}
+}

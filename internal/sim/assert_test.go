@@ -21,6 +21,6 @@ func TestAssertNegativeDelayPanics(t *testing.T) {
 			t.Fatalf("unexpected panic: %v", r)
 		}
 	}()
-	mc := &Machine{delayed: make(map[int64][]injection)}
+	var mc Machine // zero-value injq is a valid empty schedule queue
 	mc.sendAfter(-1, 0, 0, message{})
 }

@@ -17,7 +17,7 @@ func (mc *Machine) squashFrom(fromSeq int64, resumeID int) {
 			break
 		}
 	}
-	for _, b := range mc.window[cut:] {
+	for i, b := range mc.window[cut:] {
 		if mc.tracer != nil {
 			mc.tracer.Record(mc.cycle, trace.KindBlockSquash, b.seq, 0, 0)
 		}
@@ -27,9 +27,16 @@ func (mc *Machine) squashFrom(fromSeq int64, resumeID int) {
 		mc.frameBusy[b.frame] = false
 		mc.frameGens[b.frame]++
 		mc.stats.SquashedBlocks++
-		for i := range b.insts {
-			mc.stats.SquashedExecs += b.insts[i].fired
+		for j := range b.insts {
+			mc.stats.SquashedExecs += b.insts[j].fired
 		}
+		// Recycle the block and nil the window tail so retired blocks are
+		// unreachable.  A handler that squashed its own block may still hold
+		// the pointer, but the pool only hands it out at the next map, after
+		// the handler has returned (and (frame, gen) liveness rejects any
+		// message still naming it).
+		mc.releaseBlock(b)
+		mc.window[cut+i] = nil
 	}
 	mc.window = mc.window[:cut]
 	mc.q.SquashFrom(fromSeq)
@@ -43,10 +50,10 @@ func (mc *Machine) squashFrom(fromSeq int64, resumeID int) {
 // stepCommit retires the oldest block once its outputs are final: register
 // writes drain to the architectural file, stores drain to memory, the next-
 // block predictor trains, and the frame frees.  At most one block commits
-// per cycle.
-func (mc *Machine) stepCommit() {
+// per cycle; the return reports whether one did.
+func (mc *Machine) stepCommit() bool {
 	if len(mc.window) == 0 {
-		return
+		return false
 	}
 	b := mc.window[0]
 	if assertsEnabled && b.seq >= mc.nextSeq {
@@ -54,7 +61,7 @@ func (mc *Machine) stepCommit() {
 			b.seq, mc.nextSeq, mc.cycle)
 	}
 	if !b.outputsCommitted() {
-		return
+		return false
 	}
 	target := int(b.branch.Value)
 
@@ -79,7 +86,11 @@ func (mc *Machine) stepCommit() {
 	}
 	mc.frameBusy[b.frame] = false
 	mc.frameGens[b.frame]++
-	mc.window = mc.window[1:]
+	// Compact in place: reslicing away the head would leak the backing
+	// array's capacity and make the steady-state append reallocate.
+	m := copy(mc.window, mc.window[1:])
+	mc.window[m] = nil
+	mc.window = mc.window[:m]
 	mc.committed++
 	mc.lastCommitCycle = mc.cycle
 	for i := range b.insts {
@@ -87,12 +98,14 @@ func (mc *Machine) stepCommit() {
 			mc.stats.CommittedExecs++
 		}
 	}
+	mc.releaseBlock(b)
 
 	if target == isa.HaltTarget {
 		mc.done = true
-		return
+		return true
 	}
 	if len(mc.window) == 0 && !mc.fetch.active {
 		mc.resumeID = target
 	}
+	return true
 }

@@ -93,6 +93,14 @@ type Config struct {
 	// DeadlockCycles aborts when no block commits for this many cycles
 	// (a protocol bug, not a modelling condition).  Zero means 200000.
 	DeadlockCycles int64
+
+	// SlowTick disables the event-driven fast paths (active-router network
+	// ticking, active-tile worklists, idle-gap fast-forward) and steps every
+	// structure every cycle.  It is a differential-testing escape hatch: the
+	// fast paths are required to produce byte-identical results, so the flag
+	// cannot change any output and Canonical() erases it (two configs
+	// differing only in SlowTick share a sweep cache entry).
+	SlowTick bool
 }
 
 // DefaultConfig is the TRIPS-like baseline machine of the paper's
@@ -204,6 +212,10 @@ func (c Config) Canonical() Config {
 	if c.BlockPred == PredPerfect {
 		c.PerfectBlockPred = true
 	}
+	// SlowTick is proven result-identical (the differential tests in
+	// fastpath_test.go pin byte-equality), so it must not split the sweep
+	// cache: both settings canonicalise to the fast path.
+	c.SlowTick = false
 	return c
 }
 
@@ -243,6 +255,7 @@ func (c *Config) netConfig() noc.Config {
 		HopLatency:    c.HopLatency,
 		LinkBandwidth: c.LinkBandwidth,
 		LocalLatency:  1,
+		DenseTick:     c.SlowTick,
 	}
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/trace"
@@ -21,33 +23,66 @@ func (mc *Machine) enqueueReady(b *blockInst, idx int) {
 		return
 	}
 	st.queued = true
-	t := &mc.tiles[mc.instTile(b.blockID, idx)]
+	tile := mc.instTile(b.blockID, idx)
+	t := &mc.tiles[tile]
 	t.ready = append(t.ready, instRef{frame: b.frame, gen: b.gen, seq: b.seq, idx: idx})
+	mc.markTileActive(tile)
 }
 
-// stepTiles issues at most one instruction per tile per cycle (oldest block
-// first, then lowest index) and retires completed executions.
-func (mc *Machine) stepTiles() {
-	for ti := range mc.tiles {
-		t := &mc.tiles[ti]
-
-		// Retire completions.
-		if len(t.busy) > 0 {
-			kept := t.busy[:0]
-			for _, j := range t.busy {
-				if j.completeAt > mc.cycle {
-					kept = append(kept, j)
-					continue
-				}
-				mc.completeExec(j)
+// stepTiles advances every tile with resident work and reports whether any
+// tile did anything.  Tiles are visited in ascending index order — via the
+// active mask normally, densely under SlowTick — so issue arbitration is
+// identical either way.  No new tiles activate during the scan (activation
+// happens in message handlers and at block map, both outside this phase);
+// stepTile only clears its own tile's bit, so the word snapshot is safe.
+func (mc *Machine) stepTiles() bool {
+	progress := false
+	if mc.cfg.SlowTick {
+		for ti := range mc.tiles {
+			if mc.stepTile(ti) {
+				progress = true
 			}
-			t.busy = kept
 		}
+		return progress
+	}
+	for w, word := range mc.tileActive {
+		for word != 0 {
+			ti := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if mc.stepTile(ti) {
+				progress = true
+			}
+		}
+	}
+	return progress
+}
 
-		// Issue one ready instruction.
-		if len(t.ready) == 0 {
-			continue
+// stepTile issues at most one instruction on one tile (oldest block first,
+// then lowest index) and retires completed executions.  A tile whose queues
+// both drain deactivates itself.
+func (mc *Machine) stepTile(ti int) bool {
+	t := &mc.tiles[ti]
+	progress := false
+
+	// Retire completions.
+	if len(t.busy) > 0 {
+		kept := t.busy[:0]
+		for _, j := range t.busy {
+			if j.completeAt > mc.cycle {
+				kept = append(kept, j)
+				continue
+			}
+			mc.completeExec(j)
+			progress = true
 		}
+		t.busy = kept
+	}
+
+	// Issue one ready instruction.  Any non-empty ready queue counts as
+	// progress: the pop (or stale-drop) below mutates the queue, so a cycle
+	// is only provably idle when every ready queue is empty.
+	if len(t.ready) > 0 {
+		progress = true
 		best := -1
 		for i, r := range t.ready {
 			b := mc.blockAt(r.seq)
@@ -64,33 +99,63 @@ func (mc *Machine) stepTiles() {
 				best = i
 			}
 		}
-		if best < 0 {
-			continue
-		}
-		r := t.ready[best]
-		t.ready[best] = t.ready[len(t.ready)-1]
-		t.ready = t.ready[:len(t.ready)-1]
+		if best >= 0 {
+			r := t.ready[best]
+			t.ready[best] = t.ready[len(t.ready)-1]
+			t.ready = t.ready[:len(t.ready)-1]
 
-		b := mc.blockAt(r.seq)
-		st := &b.insts[r.idx]
-		st.queued = false
-		// Readiness may have lapsed (e.g. predicate flipped since enqueue).
-		in := &b.bdef.Insts[r.idx]
-		if !st.needExec || !st.operandsPresent(in) {
-			continue
+			b := mc.blockAt(r.seq)
+			st := &b.insts[r.idx]
+			st.queued = false
+			// Readiness may have lapsed (e.g. predicate flipped since
+			// enqueue).
+			in := &b.bdef.Insts[r.idx]
+			switch {
+			case !st.needExec || !st.operandsPresent(in):
+			default:
+				if en, ok := st.predEnabled(in); ok && en {
+					st.needExec = false
+					st.inflight++
+					lat := mc.cfg.opLatency(in.Op)
+					t.busy = append(t.busy, aluJob{
+						completeAt: mc.cycle + int64(lat),
+						frame:      r.frame, gen: r.gen, seq: r.seq, idx: r.idx,
+					})
+					mc.stats.Issued++
+				}
+			}
 		}
-		if en, ok := st.predEnabled(in); !ok || !en {
-			continue
-		}
-		st.needExec = false
-		st.inflight++
-		lat := mc.cfg.opLatency(in.Op)
-		t.busy = append(t.busy, aluJob{
-			completeAt: mc.cycle + int64(lat),
-			frame:      r.frame, gen: r.gen, seq: r.seq, idx: r.idx,
-		})
-		mc.stats.Issued++
 	}
+
+	if len(t.ready) == 0 && len(t.busy) == 0 {
+		mc.tileActive[ti>>6] &^= 1 << (uint(ti) & 63)
+	}
+	return progress
+}
+
+// tileNext returns the earliest future cycle at which some tile has work to
+// do: the minimum busy-job completion across active tiles.  After a null
+// step every ready queue is empty (a non-empty one would have been
+// progress), so completions are the only pending tile events; a non-empty
+// ready queue still forces the conservative answer out of caution.
+func (mc *Machine) tileNext() int64 {
+	next := int64(1) << 62
+	for w, word := range mc.tileActive {
+		for word != 0 {
+			ti := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			t := &mc.tiles[ti]
+			if len(t.ready) > 0 {
+				return mc.cycle + 1
+			}
+			for _, j := range t.busy {
+				if j.completeAt < next {
+					next = j.completeAt
+				}
+			}
+		}
+	}
+	return next
 }
 
 // stepTileIssueRetry exists only to keep the stale-drop path readable; the

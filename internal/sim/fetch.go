@@ -45,9 +45,33 @@ func (mc *Machine) fetchTargetNow() (seq int64, blockID int, ok bool) {
 	return seq, mc.predictNext(y.seq, y.blockID), true
 }
 
+// fetchAction classifies what stepFetch did in a cycle.  The run loop keeps
+// the last action so an idle-gap fast-forward can replicate it: every
+// non-progress action depends only on state that is frozen during a null
+// cycle (the window, frame occupancy, LSQ occupancy, and the pure
+// next-block prediction), so the same action — including its stall-counter
+// increment — would recur on every skipped cycle.
+type fetchAction int
+
+const (
+	// fetchIdle: nothing to fetch (halted, halt-predicted, or an unresolved
+	// garbage indirect target); no state changed, no counter moved.
+	fetchIdle fetchAction = iota
+	// fetchWaiting: a fetch is in flight and completes at fetch.readyAt.
+	fetchWaiting
+	// fetchStallFrames: all frames busy; FetchStallFrames was incremented.
+	fetchStallFrames
+	// fetchStallLSQ: the block's memory ops do not fit the LSQ;
+	// FetchStallLSQ was incremented.
+	fetchStallLSQ
+	// fetchProgress: a block was mapped or a new fetch issued (cache state
+	// advanced) — never replicable.
+	fetchProgress
+)
+
 // stepFetch advances the fetch engine one cycle: complete a pending fetch
 // by mapping the block, or start a new fetch if a frame is free.
-func (mc *Machine) stepFetch() {
+func (mc *Machine) stepFetch() fetchAction {
 	if mc.fetch.active {
 		if mc.cycle >= mc.fetch.readyAt {
 			if mc.spans != nil {
@@ -55,34 +79,36 @@ func (mc *Machine) stepFetch() {
 			}
 			mc.mapBlock(mc.fetch.seq, mc.fetch.blockID)
 			mc.fetch.active = false
+			return fetchProgress
 		}
-		return
+		return fetchWaiting
 	}
 	if mc.done {
-		return
+		return fetchIdle
 	}
 	frame := int(mc.nextSeq) % mc.cfg.Frames
 	if mc.frameBusy[frame] {
 		mc.stats.FetchStallFrames++
-		return
+		return fetchStallFrames
 	}
 	seq, blockID, ok := mc.fetchTargetNow()
 	if !ok || blockID == isa.HaltTarget {
-		return
+		return fetchIdle
 	}
 	if cap := mc.cfg.LSQCapacity; cap > 0 {
 		if mc.q.Occupancy()+len(mc.memIdx[blockID]) > cap {
 			mc.stats.FetchStallLSQ++
-			return
+			return fetchStallLSQ
 		}
 	}
 	if blockID < 0 || blockID >= len(mc.prog.Blocks) {
 		// A garbage indirect-branch prediction target: wait for resolution.
-		return
+		return fetchIdle
 	}
 	lat := mc.hier.InstAccess(codeBase+uint64(blockID)*512) + mc.cfg.FetchCycles
 	mc.fetch = pendingFetch{active: true, seq: seq, blockID: blockID, readyAt: mc.cycle + int64(lat), startedAt: mc.cycle}
 	mc.stats.FetchedBlocks++
+	return fetchProgress
 }
 
 // mapBlock allocates a frame and injects the block into the window:
@@ -95,23 +121,31 @@ func (mc *Machine) mapBlock(seq int64, blockID int) {
 	mc.frameGens[frame]++
 	mc.frameBusy[frame] = true
 
-	b := &blockInst{
+	b := mc.takeBlock()
+	*b = blockInst{
 		seq:      seq,
 		blockID:  blockID,
 		bdef:     bdef,
 		frame:    frame,
 		gen:      mc.frameGens[frame],
-		insts:    make([]instState, len(bdef.Insts)),
-		writes:   make([]writeState, len(bdef.Writes)),
-		regRead:  make(map[uint8]int, len(bdef.Reads)),
+		insts:    resliceCleared(b.insts, len(bdef.Insts)),
+		writes:   resliceCleared(b.writes, len(bdef.Writes)),
+		readBind: b.readBind, // sized below, every element assigned
+		regRead:  b.regRead,
 		mapCycle: mc.cycle,
+	}
+	if b.regRead == nil {
+		b.regRead = make(map[uint8]int, len(bdef.Reads))
+	} else {
+		clear(b.regRead)
 	}
 	mc.window = append(mc.window, b)
 	mc.nextSeq = seq + 1
 	mc.stats.MappedBlocks++
 
-	// Register memory operations with the LSQ.
-	ops := make([]lsq.OpInfo, 0, len(mc.memIdx[blockID]))
+	// Register memory operations with the LSQ (which copies them into its
+	// own entries, so the staging buffer is reusable).
+	ops := mc.opsBuf[:0]
 	for _, idx := range mc.memIdx[blockID] {
 		in := &bdef.Insts[idx]
 		ops = append(ops, lsq.OpInfo{
@@ -125,6 +159,7 @@ func (mc *Machine) mapBlock(seq int64, blockID int) {
 		}
 	}
 	mc.q.RegisterBlock(seq, ops)
+	mc.opsBuf = ops
 
 	// Zero-input instructions (constants, unpredicated branches) are ready
 	// immediately.
@@ -160,7 +195,11 @@ func (mc *Machine) mapBlock(seq int64, blockID int) {
 
 	// Bind register reads to the youngest older in-flight writer, or the
 	// architectural file, and request initial values.
-	b.readBind = make([]int64, len(bdef.Reads))
+	if cap(b.readBind) < len(bdef.Reads) {
+		b.readBind = make([]int64, len(bdef.Reads))
+	} else {
+		b.readBind = b.readBind[:len(bdef.Reads)]
+	}
 	for r := range bdef.Reads {
 		reg := bdef.Reads[r].Reg
 		b.regRead[reg] = r

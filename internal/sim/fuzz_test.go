@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -145,6 +146,24 @@ func TestFuzzProgramsAllSchemes(t *testing.T) {
 			}
 			if sr.Regs != golden.Regs || !sr.Mem.Equal(golden.Mem) {
 				t.Logf("seed %d %s+%s: architectural divergence", seed, s.policy, s.recovery)
+				return false
+			}
+			// Differential arm: the dense reference tick must reproduce the
+			// event-driven run bit for bit, on every random program.
+			scfg := cfg
+			scfg.SlowTick = true
+			smc, err := New(scfg, prog, regs, m, golden.Oracle, nil)
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			ssr, err := smc.Run()
+			if err != nil {
+				t.Logf("seed %d %s+%s slow-tick: %v", seed, s.policy, s.recovery, err)
+				return false
+			}
+			if ssr.Regs != sr.Regs || !ssr.Mem.Equal(sr.Mem) || !reflect.DeepEqual(ssr.Stats, sr.Stats) {
+				t.Logf("seed %d %s+%s: fast/slow tick divergence", seed, s.policy, s.recovery)
 				return false
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/predictor"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -81,9 +82,32 @@ type Machine struct {
 	nextSeq   int64
 	resumeID  int
 
-	cycle   int64
-	delayed map[int64][]injection
-	tiles   []tileState
+	cycle int64
+	// injq schedules structure-latency injections (cache replies, recovery
+	// broadcasts) by cycle; FIFO within a cycle, so it reproduces the
+	// retired delayed-map iteration bit for bit.
+	injq  sched.Queue[injection]
+	tiles []tileState
+	// tileActive is a bitmask over tiles with resident work (non-empty
+	// ready or busy queues); stepTiles visits only these, in ascending
+	// order so issue arbitration matches the dense scan exactly.
+	tileActive []uint64
+
+	// lastFetch records what stepFetch did this cycle; during an idle-gap
+	// fast-forward the same (state-stable) stall repeats every skipped
+	// cycle and is replicated in bulk.
+	lastFetch fetchAction
+	// ffSkipped counts cycles the run loop fast-forwarded across provably
+	// idle gaps (diagnostics only; never part of Stats).
+	ffSkipped int64
+
+	// Steady-state scratch, reused every cycle so the hot loop does not
+	// allocate: LSQ take buffers, the map-time OpInfo staging slice, and
+	// the retired-block pool.
+	readyBuf  []lsq.ReadyLoad
+	certBuf   []lsq.CertifiedLoad
+	opsBuf    []lsq.OpInfo
+	blockPool []*blockInst
 
 	committed       int64
 	lastCommitCycle int64
@@ -157,7 +181,6 @@ func New(cfg Config, prog *isa.Program, regs *[isa.NumRegs]int64, m *mem.Memory,
 		frameGens: make([]uint32, cfg.Frames),
 		frameBusy: make([]bool, cfg.Frames),
 		resumeID:  prog.Entry,
-		delayed:   make(map[int64][]injection),
 	}
 	if regs != nil {
 		mc.arch = *regs
@@ -205,6 +228,7 @@ func New(cfg Config, prog *isa.Program, regs *[isa.NumRegs]int64, m *mem.Memory,
 	for i := range mc.tiles {
 		mc.tiles[i].node = mc.execNode(i)
 	}
+	mc.tileActive = make([]uint64, (nt+63)/64)
 	mc.placement, err = computePlacement(cfg.Placement, prog, nt)
 	if err != nil {
 		return nil, err
@@ -292,8 +316,44 @@ func (mc *Machine) sendAfter(delay int, src, dst int, m message) {
 		mc.send(src, dst, m)
 		return
 	}
-	at := mc.cycle + int64(delay)
-	mc.delayed[at] = append(mc.delayed[at], injection{src: src, dst: dst, msg: m})
+	mc.injq.Push(mc.cycle+int64(delay), injection{src: src, dst: dst, msg: m})
+}
+
+// markTileActive flags a tile as holding resident work so stepTiles visits
+// it.  The bit is cleared by stepTiles itself when both queues drain.
+func (mc *Machine) markTileActive(tile int) {
+	mc.tileActive[tile>>6] |= 1 << (uint(tile) & 63)
+}
+
+// resliceCleared returns s resized to n with every element zeroed, reusing
+// the backing array when it is large enough.
+func resliceCleared[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// takeBlock pops a recycled blockInst (or allocates one).  The caller fills
+// every field; recycled backing arrays (insts, writes, readBind, regRead)
+// keep their capacity so steady-state block turnover does not allocate.
+func (mc *Machine) takeBlock() *blockInst {
+	if len(mc.blockPool) == 0 {
+		return &blockInst{}
+	}
+	b := mc.blockPool[len(mc.blockPool)-1]
+	mc.blockPool[len(mc.blockPool)-1] = nil
+	mc.blockPool = mc.blockPool[:len(mc.blockPool)-1]
+	return b
+}
+
+// releaseBlock recycles a retired (committed or squashed) blockInst.  Any
+// in-flight message naming it is rejected by the (frame, gen) liveness check
+// before the pool can hand it out again, because gens only move forward.
+func (mc *Machine) releaseBlock(b *blockInst) {
+	mc.blockPool = append(mc.blockPool, b)
 }
 
 // fail records a fatal protocol error; the run loop surfaces it.

@@ -54,7 +54,13 @@ func (mc *Machine) RunContext(ctx context.Context) (*Result, error) {
 				return nil, fmt.Errorf("sim: cancelled at cycle %d: %w", mc.cycle, err)
 			}
 		}
-		mc.step()
+		if mc.step() || mc.cfg.SlowTick {
+			continue
+		}
+		// The cycle just stepped was a provable no-op, and nothing outside
+		// the event structures can change until the next scheduled event:
+		// jump straight to it instead of replaying empty cycles.
+		mc.fastForward(maxCycles, deadlock)
 	}
 	// Flush the final (partial) telemetry window so short runs still
 	// produce at least one sample.
@@ -65,23 +71,41 @@ func (mc *Machine) RunContext(ctx context.Context) (*Result, error) {
 	return &Result{Regs: mc.arch, Mem: mc.mem, Blocks: mc.committed, Stats: mc.stats}, nil
 }
 
-// step advances the machine one cycle.
-func (mc *Machine) step() {
+// step advances the machine one cycle and reports whether anything moved.
+// A false return is a proof obligation, not a hint: it asserts the cycle
+// was a no-op AND that replaying the machine from here produces only no-ops
+// until the next scheduled event (see fastForward), because every state
+// change is initiated by an injection, a network delivery, an LSQ
+// re-evaluation, a tile completion/issue, fetch, or commit — all of which
+// report below.
+func (mc *Machine) step() bool {
+	progress := false
+
 	// Structure-latency completions (cache replies, recovery broadcasts)
-	// inject into the network first.
-	if inj, ok := mc.delayed[mc.cycle]; ok {
-		delete(mc.delayed, mc.cycle)
-		for _, i := range inj {
-			mc.send(i.src, i.dst, i.msg)
-		}
+	// inject into the network first.  FIFO within a cycle — the heap's
+	// insertion-sequence tiebreak — preserves the retired map's append
+	// order.
+	for mc.injq.Len() > 0 && mc.injq.MinAt() <= mc.cycle {
+		_, inj := mc.injq.Pop()
+		mc.send(inj.src, inj.dst, inj.msg)
+		progress = true
 	}
 
 	// Network: arrivals dispatch to the handlers.
-	mc.net.Tick(mc.cycle)
+	if mc.net.Tick(mc.cycle) {
+		progress = true
+	}
 
 	// LSQ: deferred loads whose policy wait resolved, and loads whose
-	// values became certifiable (the memory leg of the commit wave).
-	for _, rl := range mc.q.TakeReady(mc.cycle) {
+	// values became certifiable (the memory leg of the commit wave).  A
+	// re-evaluation scan counts as progress even when it returns nothing:
+	// it can increment deferral statistics (MSHR-parked loads retry every
+	// cycle) and clears queue dirtiness.
+	if mc.q.HasReadyWork() {
+		progress = true
+	}
+	mc.readyBuf = mc.q.TakeReady(mc.cycle, mc.readyBuf[:0])
+	for _, rl := range mc.readyBuf {
 		b := mc.blockAt(rl.Load.Seq)
 		if b == nil {
 			continue
@@ -89,7 +113,11 @@ func (mc *Machine) step() {
 		idx := mc.memIdx[b.blockID][rl.Load.LSID]
 		mc.emitLoadResult(b, idx, rl.Addr, rl.Res)
 	}
-	for _, c := range mc.q.TakeCertifiable() {
+	mc.certBuf = mc.q.TakeCertifiable(mc.certBuf[:0])
+	if len(mc.certBuf) > 0 {
+		progress = true
+	}
+	for _, c := range mc.certBuf {
 		b := mc.blockAt(c.Load.Seq)
 		if b == nil {
 			continue
@@ -98,12 +126,104 @@ func (mc *Machine) step() {
 		mc.broadcastLoadReply(b, idx, c.Addr, c.Value, 0, mc.cfg.ForwardLatency, true)
 	}
 
-	mc.stepTiles()
-	mc.stepFetch()
-	mc.stepCommit()
+	if mc.stepTiles() {
+		progress = true
+	}
+	mc.lastFetch = mc.stepFetch()
+	if mc.lastFetch == fetchProgress {
+		progress = true
+	}
+	if mc.stepCommit() {
+		progress = true
+	}
 	// Sample before accounting this cycle's slot so a window ending at
 	// cycle c covers exactly the accounted cycles (base, c]: windowed CPI
 	// buckets then sum to Window × SlotsPerCycle with no boundary skew.
+	if mc.sampleSink != nil && mc.cycle >= mc.sampleAt {
+		mc.takeSample()
+	}
+	if mc.acct != nil {
+		mc.accountCycle()
+	}
+	mc.cycle++
+	return progress
+}
+
+// fastForward advances mc.cycle to the next cycle at which anything can
+// happen, after step returned false.  The jump target is the earliest of
+// every pending event source, clamped so the run loop still observes the
+// max-cycle and deadlock boundaries and the sampler still closes windows at
+// exact multiples:
+//
+//   - the next scheduled injection (injq);
+//   - the next network arrival or transmission (NextEvent);
+//   - the next ALU completion (tileNext; ready queues are empty after a
+//     null step, else it refuses to jump);
+//   - fetch completion (fetch.readyAt) when a fetch is in flight;
+//   - the first cycle the deadlock detector would fire, and maxCycles;
+//   - the next sampler window boundary.
+//
+// Skipped cycles are not free of side effects: a stalled fetch engine
+// increments its stall counter every cycle, the sampler may close a window,
+// and cycle accounting attributes every cycle's slots.  With accounting on
+// the cycles are replayed individually (tickIdleTail); otherwise the stall
+// counters are advanced in bulk, which is exactly what replaying would do.
+func (mc *Machine) fastForward(maxCycles, deadlock int64) {
+	next := mc.lastCommitCycle + deadlock + 1
+	if maxCycles < next {
+		next = maxCycles
+	}
+	if mc.injq.Len() > 0 && mc.injq.MinAt() < next {
+		next = mc.injq.MinAt()
+	}
+	if ne := mc.net.NextEvent(mc.cycle); ne < next {
+		next = ne
+	}
+	if tn := mc.tileNext(); tn < next {
+		next = tn
+	}
+	if mc.fetch.active && mc.fetch.readyAt < next {
+		next = mc.fetch.readyAt
+	}
+	if mc.sampleSink != nil && mc.sampleAt < next {
+		next = mc.sampleAt
+	}
+	if next <= mc.cycle {
+		return
+	}
+	mc.ffSkipped += next - mc.cycle
+	if mc.acct != nil {
+		for mc.cycle < next {
+			mc.tickIdleTail()
+		}
+		return
+	}
+	switch mc.lastFetch {
+	case fetchStallFrames:
+		mc.stats.FetchStallFrames += next - mc.cycle
+	case fetchStallLSQ:
+		mc.stats.FetchStallLSQ += next - mc.cycle
+	default:
+		// fetchIdle and fetchWaiting move no counters; fetchProgress cannot
+		// follow a null step.
+	}
+	mc.cycle = next
+}
+
+// tickIdleTail replays the per-cycle tail of a skipped idle cycle: the
+// fetch engine's stall counter (the only statistic a null cycle moves),
+// then the sampler boundary check, then cycle accounting — the same order
+// step uses, so windows and CPI stacks close over identical state.
+func (mc *Machine) tickIdleTail() {
+	switch mc.lastFetch {
+	case fetchStallFrames:
+		mc.stats.FetchStallFrames++
+	case fetchStallLSQ:
+		mc.stats.FetchStallLSQ++
+	default:
+		// fetchIdle and fetchWaiting move no counters; fetchProgress cannot
+		// follow a null step.
+	}
 	if mc.sampleSink != nil && mc.cycle >= mc.sampleAt {
 		mc.takeSample()
 	}
@@ -147,6 +267,13 @@ func (mc *Machine) debugDump() string {
 	}
 	fmt.Fprintf(&b, "fetch active=%v seq=%d id=%d  nextSeq=%d resume=%d net pending=%d\n",
 		mc.fetch.active, mc.fetch.seq, mc.fetch.blockID, mc.nextSeq, mc.resumeID, mc.net.Pending())
+	if mc.ffSkipped > 0 {
+		// A deadlocked machine reaches the detector almost entirely through
+		// fast-forwarded idle cycles; note them so "cycle N" in the error is
+		// not mistaken for N stepped cycles of activity.
+		fmt.Fprintf(&b, "idle-skipped=%d cycles fast-forwarded (injq=%d net-next=%d tile-next=%d)\n",
+			mc.ffSkipped, mc.injq.Len(), mc.net.NextEvent(mc.cycle), mc.tileNext())
+	}
 	if mc.haveSample {
 		s := mc.lastSample
 		fmt.Fprintf(&b, "telemetry last window: cycle=%d win=%d ipc=%.3f committed=%d inflight=%d lsq=%d noc=%d waves=%d reexecs=%d flushes=%d l1d=%.3f l2=%.3f\n",

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -83,8 +84,22 @@ func (s *Summary) FirstError() string {
 type Engine struct {
 	opts Options
 
+	// Live-run throughput tally (see Tally).  Atomics because the default
+	// runner executes on the worker pool.
+	simCycles     atomic.Int64
+	simWallMicros atomic.Int64
+
 	mu    sync.Mutex
 	preps map[prepKey]*prepEntry
+}
+
+// Tally returns the cumulative simulated cycles and simulator wall time of
+// every live (non-cached) run the default runner has executed on this
+// engine.  Cache hits and replayed duplicates contribute nothing, so the
+// quotient is a genuine simulation rate; dsre-bench diffs successive
+// tallies to attribute throughput to each artifact.
+func (e *Engine) Tally() (cycles int64, wall time.Duration) {
+	return e.simCycles.Load(), time.Duration(e.simWallMicros.Load()) * time.Microsecond
 }
 
 // New creates an engine.  The zero Options value is usable: GOMAXPROCS
@@ -137,11 +152,17 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec) (*telemetry.Report,
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	res, err := repro.RunPrepared(ctx, spec.Config(), p)
 	if err != nil {
 		return nil, err
 	}
-	return res.Report(), nil
+	wall := time.Since(start)
+	e.simCycles.Add(res.Cycles)
+	e.simWallMicros.Add(wall.Microseconds())
+	rep := res.Report()
+	rep.StampWall(wall)
+	return rep, nil
 }
 
 // Run executes the specs and returns their results in spec order.  A

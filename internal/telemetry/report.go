@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -39,8 +40,30 @@ type Report struct {
 	Reexecs     int64 `json:"reexecs"`
 	Waves       int64 `json:"waves"`
 
+	// SimWallMS and McyclesPerSec measure the host-side cost of producing
+	// this report: wall-clock milliseconds spent inside the simulator, and
+	// millions of simulated cycles retired per wall second.  They describe
+	// the harness, not the simulated machine, so Result.Report() never sets
+	// them — writers (dsre-sim, the sweep engine) stamp them via StampWall,
+	// and a cached sweep replay keeps the figures of the run that produced
+	// it.
+	SimWallMS     float64 `json:"sim_wall_ms,omitempty"`
+	McyclesPerSec float64 `json:"mcycles_per_sec,omitempty"`
+
 	Stats   sim.Stats    `json:"stats"`
 	Samples []sim.Sample `json:"samples,omitempty"`
+}
+
+// StampWall records the host wall time that produced this report and the
+// derived simulation rate.  A zero or negative wall (a clock step, or a
+// report that never ran live) leaves both fields unset rather than
+// dividing by zero.
+func (r *Report) StampWall(wall time.Duration) {
+	if wall <= 0 {
+		return
+	}
+	r.SimWallMS = float64(wall.Microseconds()) / 1e3
+	r.McyclesPerSec = float64(r.Cycles) / 1e6 / wall.Seconds()
 }
 
 // Marshal renders the report as indented, stable JSON.

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/account"
@@ -288,5 +289,23 @@ func TestRunSamplesWindows(t *testing.T) {
 	}
 	if cpi != res.Sim.Acct {
 		t.Errorf("sum of windowed CPI stacks = %+v, run stack %+v", cpi, res.Sim.Acct)
+	}
+}
+
+// TestStampWall pins the host-throughput stamp: the rate is cycles over
+// wall, and a non-positive wall (cached replay, clock step) leaves both
+// fields unset instead of dividing by zero.
+func TestStampWall(t *testing.T) {
+	r := &telemetry.Report{Cycles: 2_000_000}
+	r.StampWall(0)
+	if r.SimWallMS != 0 || r.McyclesPerSec != 0 {
+		t.Errorf("zero wall stamped: wall=%v rate=%v", r.SimWallMS, r.McyclesPerSec)
+	}
+	r.StampWall(500 * time.Millisecond)
+	if r.SimWallMS != 500 {
+		t.Errorf("SimWallMS = %v, want 500", r.SimWallMS)
+	}
+	if r.McyclesPerSec < 3.99 || r.McyclesPerSec > 4.01 {
+		t.Errorf("McyclesPerSec = %v, want 4", r.McyclesPerSec)
 	}
 }
