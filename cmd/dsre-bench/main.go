@@ -23,19 +23,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/obs/status"
 	"repro/internal/stats"
 )
 
@@ -71,7 +76,25 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	statusAddr := flag.String("status", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address (empty disables)")
+	eventsPath := flag.String("events", "", "write a dsre-events/v1 JSONL lifecycle log to this path (empty disables)")
 	flag.Parse()
+
+	// SIGINT and SIGTERM drain the harness: in-flight simulations finish,
+	// queued grid points are abandoned, profiles below still flush.  The
+	// experiment helpers panic on an interrupted sweep; the recover turns
+	// that into a clean drain exit after the profile defers (LIFO) ran.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	defer func() {
+		if r := recover(); r != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "dsre-bench: drained: %v\n", ctx.Err())
+				os.Exit(1)
+			}
+			panic(r)
+		}
+	}()
 
 	if *pprofAddr != "" {
 		go func() {
@@ -111,9 +134,38 @@ func main() {
 		}()
 	}
 
-	o := experiments.Opts{Quick: *quick, Jobs: *jobs, CacheDir: *cache}
+	o := experiments.Opts{Quick: *quick, Jobs: *jobs, CacheDir: *cache, Ctx: ctx}
 	if *progress {
 		o.Progress = os.Stderr
+	}
+
+	// Fleet observability (opt-in): one observer spans every experiment, so
+	// /metrics and the event log see the whole harness run as one fleet.
+	if *eventsPath != "" || *statusAddr != "" {
+		var sink obs.EventSink
+		if *eventsPath != "" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsre-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			sink = obs.NewJSONLSink(f)
+		}
+		o.Obs = obs.NewSweepObs(time.Now(), sink, nil)
+	}
+	if *statusAddr != "" {
+		observer := o.Obs
+		srv, err := status.Serve(*statusAddr, status.Options{
+			Registry: observer.Reg,
+			Progress: func() obs.ProgressView { return observer.Progress(time.Now()) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsre-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dsre-bench: status server on http://%s\n", srv.Addr())
 	}
 	// One engine across every experiment so workload builds and golden-model
 	// runs memoize across experiment boundaries, not just within one.

@@ -23,8 +23,15 @@
 // Each completed point can be written to -reports as a standalone
 // dsre-report/v1 artifact named <workload>-<scheme>-<hash12>.json; the
 // manifest records every job's spec, hash, status and timing, and the
-// process exits nonzero if any job failed.  SIGINT cancels in-flight jobs
-// but still writes the manifest, so a ^C'd sweep is resumable.
+// process exits nonzero if any job failed.  SIGINT and SIGTERM cancel
+// in-flight jobs but still write the manifest, so a ^C'd (or fleet-
+// scheduler-killed) sweep is resumable.
+//
+// Fleet observability is opt-in: -status :9090 serves /metrics (Prometheus
+// text), /healthz, /progress (live JSON) and /debug/pprof; -events
+// sweep.events writes a dsre-events/v1 JSONL lifecycle log; -span-trace
+// sweep-trace.json exports per-job lifecycle spans as a Chrome trace with
+// one lane per worker (open in chrome://tracing or Perfetto).
 package main
 
 import (
@@ -36,7 +43,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
+	"repro/internal/obs"
+	"repro/internal/obs/status"
 	"repro/internal/sweep"
 )
 
@@ -99,6 +110,10 @@ func main() {
 	manifest := flag.String("manifest", "sweep-manifest.json", "manifest output path (empty disables)")
 	reports := flag.String("reports", "", "directory for per-point dsre-report/v1 artifacts (empty disables)")
 	quiet := flag.Bool("q", false, "suppress per-job progress on stderr")
+	statusAddr := flag.String("status", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address (empty disables)")
+	eventsPath := flag.String("events", "", "write a dsre-events/v1 JSONL lifecycle log to this path (empty disables)")
+	spanTrace := flag.String("span-trace", "", "write per-job lifecycle spans as a Chrome trace to this path (empty disables)")
+	linger := flag.Duration("linger", 0, "keep the -status server up this long after the sweep (lets scrapers collect the final state)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fatalf("unexpected arguments %q (axes are flags, not positional)", flag.Args())
@@ -158,9 +173,49 @@ func main() {
 		opts.Progress = sweep.NewReporter(os.Stderr, *jobs)
 	}
 
-	// SIGINT cancels in-flight jobs; the manifest below still records what
-	// finished, so the sweep can be resumed.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Fleet observability: all three surfaces are opt-in and disabled hooks
+	// cost the engine one nil check, so a bare sweep stays byte-identical.
+	var sink *obs.JSONLSink
+	var eventsFile *os.File
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		eventsFile = f
+		sink = obs.NewJSONLSink(f)
+	}
+	var spans *obs.SpanLog
+	if *spanTrace != "" {
+		spans = obs.NewSpanLog()
+	}
+	var observer *obs.SweepObs
+	if *statusAddr != "" || sink != nil || spans != nil {
+		// The sink interface value must be nil when no log was requested;
+		// wrapping a nil *JSONLSink would produce a non-nil interface.
+		var s obs.EventSink
+		if sink != nil {
+			s = sink
+		}
+		observer = obs.NewSweepObs(time.Now(), s, spans)
+		opts.Obs = observer
+	}
+	if *statusAddr != "" {
+		srv, err := status.Serve(*statusAddr, status.Options{
+			Registry: observer.Reg,
+			Progress: func() obs.ProgressView { return observer.Progress(time.Now()) },
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dsre-sweep: status server on http://%s\n", srv.Addr())
+	}
+
+	// SIGINT and SIGTERM cancel in-flight jobs; the manifest below still
+	// records what finished, so the sweep can be resumed.  SIGTERM matters
+	// for fleet schedulers, which never send an interactive interrupt.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	sum, runErr := sweep.New(opts).Run(ctx, specs)
@@ -186,6 +241,37 @@ func main() {
 			if err := j.Report.WriteFile(filepath.Join(*reports, name)); err != nil {
 				fatalf("%v", err)
 			}
+		}
+	}
+
+	if spans != nil {
+		f, err := os.Create(*spanTrace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := spans.WriteChromeTrace(f); err != nil {
+			fatalf("span trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("span trace: %v", err)
+		}
+	}
+	if eventsFile != nil {
+		if err := sink.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "dsre-sweep: event log degraded: %v\n", err)
+		}
+		if err := eventsFile.Close(); err != nil {
+			fatalf("event log: %v", err)
+		}
+	}
+
+	// -linger keeps the status server answering after the sweep so a final
+	// scrape (CI, a dashboard) sees the terminal counters; a signal ends it
+	// early.
+	if *linger > 0 && *statusAddr != "" {
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
 		}
 	}
 

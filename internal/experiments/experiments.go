@@ -19,6 +19,7 @@ import (
 	"io"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
@@ -42,6 +43,12 @@ type Opts struct {
 	// NewEngine so successive experiments reuse memoized workload builds.
 	// Nil builds a fresh engine per experiment from the fields above.
 	Engine *sweep.Engine
+	// Ctx, when set, bounds every sweep (dsre-bench passes its signal
+	// context so SIGINT/SIGTERM drain in-flight jobs); nil means Background.
+	Ctx context.Context
+	// Obs attaches fleet observability (metrics, events, live progress) to
+	// the engines NewEngine builds; nil disables every hook.
+	Obs *obs.SweepObs
 }
 
 // NewEngine builds the sweep engine an Opts describes.  Assign the result
@@ -58,7 +65,7 @@ func NewEngine(o Opts) (*sweep.Engine, error) {
 	if o.Progress != nil {
 		rep = sweep.NewReporter(o.Progress, o.Jobs)
 	}
-	return sweep.New(sweep.Options{Workers: o.Jobs, Store: st, Progress: rep}), nil
+	return sweep.New(sweep.Options{Workers: o.Jobs, Store: st, Progress: rep, Obs: o.Obs}), nil
 }
 
 // engine returns the configured engine, building one when Opts.Engine is
@@ -79,7 +86,11 @@ func (o Opts) engine() *sweep.Engine {
 // spec order, panicking on any failed point: an experiment that cannot run
 // is a broken build, not a measurement.
 func (o Opts) results(specs []sweep.JobSpec) []*telemetry.Report {
-	sum, err := o.engine().Run(context.Background(), specs)
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sum, err := o.engine().Run(ctx, specs)
 	if err != nil {
 		panic(fmt.Sprintf("experiment sweep failed: %v", err))
 	}

@@ -79,6 +79,11 @@ func DefaultConfig() Config {
 			"internal/sim", "internal/core", "internal/lsq", "internal/noc",
 			"internal/mem", "internal/predictor", "internal/cache", "internal/emu",
 			"internal/account", "internal/sched",
+			// The observability core must stay deterministic-when-off: it
+			// takes every timestamp from its caller and never spawns
+			// goroutines (the HTTP server lives in internal/obs/status,
+			// outside this set precisely because servers need both).
+			"internal/obs",
 		},
 		SimPkg:          "internal/sim",
 		ConfigType:      "Config",
@@ -103,6 +108,8 @@ func DefaultConfig() Config {
 			"internal/core.IssuePolicy",
 			"internal/account.Bucket",
 			"internal/account.EventKind",
+			"internal/obs.EventKind",
+			"internal/obs.Phase",
 		},
 	}
 }

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -40,6 +42,11 @@ type Options struct {
 	// Runner overrides job execution (tests); nil selects the default
 	// simulate-and-verify runner.
 	Runner Runner
+	// Obs receives fleet-level observability signals: metrics, lifecycle
+	// events, per-job spans and live progress.  nil disables every hook at
+	// the cost of one pointer compare — the zero-alloc fast path and
+	// byte-identity pins run with Obs off.
+	Obs *obs.SweepObs
 }
 
 // JobResult is the outcome of one job.  Report is carried in memory for
@@ -145,10 +152,24 @@ func (e *Engine) prepare(s JobSpec) (*repro.Prepared, error) {
 	return en.p, en.err
 }
 
+// spanCtxKey carries the job's *obs.JobObs through the runner context so
+// the default runner can split the prepare phase out of the run span.
+// Custom runners simply never look it up and fold prepare into run.
+type spanCtxKey struct{}
+
+// jobSpan returns the job observer threaded through the context, or nil.
+func jobSpan(ctx context.Context) *obs.JobObs {
+	jo, _ := ctx.Value(spanCtxKey{}).(*obs.JobObs)
+	return jo
+}
+
 // simulate is the default runner: memoized prepare, then a verified
 // simulation under the job's context.
 func (e *Engine) simulate(ctx context.Context, spec JobSpec) (*telemetry.Report, error) {
 	p, err := e.prepare(spec)
+	if jo := jobSpan(ctx); jo != nil {
+		jo.Mark(obs.PhasePrepare, time.Now())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -160,6 +181,9 @@ func (e *Engine) simulate(ctx context.Context, spec JobSpec) (*telemetry.Report,
 	wall := time.Since(start)
 	e.simCycles.Add(res.Cycles)
 	e.simWallMicros.Add(wall.Microseconds())
+	if e.opts.Obs != nil {
+		e.opts.Obs.AddSimCycles(res.Cycles)
+	}
 	rep := res.Report()
 	rep.StampWall(wall)
 	return rep, nil
@@ -212,16 +236,23 @@ func (e *Engine) Run(ctx context.Context, specs []JobSpec) (*Summary, error) {
 		workers = len(order)
 	}
 
+	// One Grid handle per Run; nil when observability is off so every hook
+	// below stays a single pointer compare.
+	var grid *obs.Grid
+	if e.opts.Obs != nil {
+		grid = e.opts.Obs.GridBegin(len(specs), len(order), workers, time.Now())
+	}
+
 	jobs := make(chan string)
 	var wg sync.WaitGroup
 	var resMu sync.Mutex // guards results writes from workers
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for h := range jobs {
 				g := groups[h]
-				r := e.executeJob(ctx, specs[g.indices[0]], h)
+				r := e.executeJob(ctx, specs[g.indices[0]], h, grid, worker, len(g.indices))
 				resMu.Lock()
 				for gi, idx := range g.indices {
 					rr := r
@@ -239,7 +270,7 @@ func (e *Engine) Run(ctx context.Context, specs []JobSpec) (*Summary, error) {
 					e.opts.Progress.jobDone(r, len(g.indices))
 				}
 			}
-		}()
+		}(w)
 	}
 
 feed:
@@ -247,6 +278,11 @@ feed:
 		select {
 		case jobs <- h:
 		case <-ctx.Done():
+			// The sweep is draining: in-flight jobs finish, the rest of the
+			// queue is abandoned (and recorded as not-run below).
+			if grid != nil {
+				grid.Drain(ctx.Err(), time.Now())
+			}
 			break feed
 		}
 	}
@@ -276,6 +312,9 @@ feed:
 			sum.Failed++
 		}
 	}
+	if grid != nil {
+		grid.End(sum.OK, sum.Failed, sum.CacheHits, time.Now())
+	}
 	if e.opts.Progress != nil {
 		e.opts.Progress.finish(sum)
 	}
@@ -283,11 +322,28 @@ feed:
 }
 
 // executeJob runs one unique job: cache probe, then bounded attempts with
-// panic isolation and an optional per-attempt timeout.
-func (e *Engine) executeJob(ctx context.Context, spec JobSpec, hash string) JobResult {
-	res := JobResult{Spec: spec, Hash: hash}
+// panic isolation and an optional per-attempt timeout.  When observability
+// is on, the job's lifecycle is recorded as a contiguous span chain
+// (queue-wait, cache-lookup, prepare, run, store-write) plus lifecycle
+// events; copies is how many specs deduplicated onto this execution, so
+// the observer's counters reconcile with the manifest totals.
+func (e *Engine) executeJob(ctx context.Context, spec JobSpec, hash string, grid *obs.Grid, worker, copies int) (res JobResult) {
+	res = JobResult{Spec: spec, Hash: hash}
+	var jo *obs.JobObs
+	if grid != nil {
+		jo = grid.StartJob(worker, spec.Name(), hash, copies, time.Now())
+		defer func() {
+			jo.Done(res.Status, res.CacheHit, res.Attempts, res.Elapsed, time.Now())
+		}()
+		ctx = context.WithValue(ctx, spanCtxKey{}, jo)
+	}
+
 	if e.opts.Store != nil {
-		if rec, err := e.opts.Store.Get(hash); err == nil && rec != nil {
+		rec, err := e.opts.Store.Get(hash)
+		if jo != nil {
+			jo.Mark(obs.PhaseCacheLookup, time.Now())
+		}
+		if err == nil && rec != nil {
 			res.Status = StatusOK
 			res.CacheHit = true
 			res.Report = rec.Report
@@ -302,6 +358,9 @@ func (e *Engine) executeJob(ctx context.Context, spec JobSpec, hash string) JobR
 		res.Attempts = a
 		rep, err := e.attempt(ctx, spec)
 		if err == nil {
+			if jo != nil {
+				jo.Mark(obs.PhaseRun, time.Now())
+			}
 			res.Status = StatusOK
 			res.Report = rep
 			res.Elapsed = time.Since(start).Milliseconds()
@@ -310,23 +369,53 @@ func (e *Engine) executeJob(ctx context.Context, spec JobSpec, hash string) JobR
 				if cerr != nil {
 					canon = spec
 				}
-				if perr := e.opts.Store.Put(&Record{Hash: hash, Spec: canon, Report: rep}); perr != nil {
+				perr := e.opts.Store.Put(&Record{Hash: hash, Spec: canon, Report: rep})
+				if perr != nil {
 					// A write failure degrades the cache, not the sweep.
 					res.Error = fmt.Sprintf("cache write failed: %v", perr)
+				}
+				if jo != nil {
+					jo.StoreWrite(perr == nil, time.Now())
 				}
 			}
 			return res
 		}
 		lastErr = err
+		if jo != nil {
+			var pe *panicError
+			if errors.As(err, &pe) {
+				jo.Panic(a, err, time.Now())
+			}
+			if a < attempts && ctx.Err() == nil {
+				jo.Retry(a, err, time.Now())
+			}
+		}
 		if ctx.Err() != nil {
 			// The sweep itself is over; don't burn retries on it.
 			break
 		}
 	}
+	if jo != nil {
+		// Close the final failed attempt's run span.
+		jo.Mark(obs.PhaseRun, time.Now())
+	}
 	res.Status = StatusFailed
 	res.Error = lastErr.Error()
 	res.Elapsed = time.Since(start).Milliseconds()
 	return res
+}
+
+// panicError marks an attempt that died by panic rather than by returning
+// an error, so the observer can distinguish a panic (its own counter and
+// event) from an ordinary failure.  Error renders the same "panic: ..."
+// message the engine always produced.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", p.val, p.stack)
 }
 
 // attempt is one isolated execution: its own timeout, and a panic in the
@@ -340,7 +429,7 @@ func (e *Engine) attempt(ctx context.Context, spec JobSpec) (rep *telemetry.Repo
 	defer func() {
 		if r := recover(); r != nil {
 			rep = nil
-			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			err = &panicError{val: r, stack: debug.Stack()}
 		}
 	}()
 	return e.opts.Runner(ctx, spec)

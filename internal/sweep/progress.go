@@ -5,11 +5,15 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Reporter streams per-job completions to a writer (stderr in the CLIs):
-// running counts, cache-hit ratio, failures and an ETA extrapolated from
-// the mean compute time of the jobs that actually simulated.
+// running counts, cache-hit ratio, failures and an ETA extrapolated from a
+// rolling window of recent completions, so long sweeps with warm-up phases
+// (cold cache, first-touch workload builds) converge to the steady-state
+// rate instead of dragging the start along forever.
 type Reporter struct {
 	w       io.Writer
 	workers int
@@ -22,16 +26,17 @@ type Reporter struct {
 	fails     int
 	computeNS int64 // total wall time of computed (non-hit) jobs
 	computed  int
+	window    *obs.RateWindow // recent computed completions (pool-wide rate)
 	started   time.Time
 }
 
 // NewReporter creates a reporter writing to w; workers is the pool size
-// used for the ETA (<= 0 is treated as 1).
+// used for the cold-start ETA fallback (<= 0 is treated as 1).
 func NewReporter(w io.Writer, workers int) *Reporter {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &Reporter{w: w, workers: workers}
+	return &Reporter{w: w, workers: workers, window: obs.NewRateWindow(32)}
 }
 
 func (r *Reporter) begin(total, dups int) {
@@ -44,6 +49,7 @@ func (r *Reporter) begin(total, dups int) {
 	r.fails = 0
 	r.computeNS = 0
 	r.computed = 0
+	r.window = obs.NewRateWindow(32)
 	r.started = time.Now()
 	if dups > 0 {
 		fmt.Fprintf(r.w, "sweep: %d jobs (%d deduplicated onto identical points)\n", total, dups)
@@ -66,6 +72,7 @@ func (r *Reporter) jobDone(res JobResult, copies int) {
 		r.hits += copies - 1 // duplicate spellings replay the computation
 		r.computed++
 		r.computeNS += res.Elapsed * int64(time.Millisecond)
+		r.window.Observe(time.Now())
 	}
 
 	status := "run "
@@ -87,12 +94,18 @@ func (r *Reporter) jobDone(res JobResult, copies int) {
 	fmt.Fprintln(r.w, line)
 }
 
-// eta extrapolates from the mean compute time of simulated jobs; with no
-// computed job yet (all hits so far) there is nothing to extrapolate.
+// eta extrapolates from the rolling completion-rate window when it has
+// enough samples — the window sees pool-wide completions, so remaining/rate
+// already accounts for parallelism.  Before the window fills (or when every
+// job so far was a cache hit) it falls back to the cumulative mean of
+// computed jobs divided across the pool.
 func (r *Reporter) eta() (time.Duration, bool) {
 	remaining := r.total - r.done
 	if remaining <= 0 || r.computed == 0 {
 		return 0, remaining > 0
+	}
+	if rate, ok := r.window.Rate(time.Now()); ok && rate > 0 {
+		return time.Duration(float64(remaining) / rate * float64(time.Second)), true
 	}
 	perJob := time.Duration(r.computeNS / int64(r.computed))
 	return perJob * time.Duration(remaining) / time.Duration(r.workers), true
@@ -101,8 +114,12 @@ func (r *Reporter) eta() (time.Duration, bool) {
 func (r *Reporter) finish(sum *Summary) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	fmt.Fprintf(r.w, "sweep: done: %d ok (%d cache hits), %d failed in %v\n",
-		sum.OK, sum.CacheHits, sum.Failed, sum.Elapsed.Round(time.Millisecond))
+	hitPct := 0
+	if n := len(sum.Jobs); n > 0 {
+		hitPct = 100 * sum.CacheHits / n
+	}
+	fmt.Fprintf(r.w, "sweep: done: %d ok (%d cache hits, %d%%), %d failed in %v\n",
+		sum.OK, sum.CacheHits, hitPct, sum.Failed, sum.Elapsed.Round(time.Millisecond))
 }
 
 func fmtMS(ms int64) string {

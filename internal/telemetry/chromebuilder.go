@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TraceBuilder accumulates Chrome trace-event (catapult) JSON for any
+// producer that wants to render spans on process/thread lanes — the
+// simulator exporter (WriteChromeTrace) and the sweep engine's per-worker
+// job-lifecycle trace (internal/obs) both sit on top of it.  Events are
+// written in the order the builder receives them, so output is
+// deterministic for a given call sequence and golden-file tests stay
+// stable.
+type TraceBuilder struct {
+	trace chromeTrace
+}
+
+// NewTraceBuilder returns an empty builder.  Time unit semantics are the
+// caller's: ts/dur values are catapult microseconds, whatever the caller
+// maps onto them (the simulator renders one cycle as 1us; the sweep trace
+// renders wall microseconds).
+func NewTraceBuilder() *TraceBuilder {
+	return &TraceBuilder{trace: chromeTrace{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ms",
+	}}
+}
+
+// SetMeta records one key in the trace's otherData block.
+func (b *TraceBuilder) SetMeta(key, value string) {
+	if b.trace.OtherData == nil {
+		b.trace.OtherData = map[string]string{}
+	}
+	b.trace.OtherData[key] = value
+}
+
+// Process names a pid lane.
+func (b *TraceBuilder) Process(pid int, name string) {
+	b.add(chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}})
+}
+
+// Thread names a tid lane within a pid.
+func (b *TraceBuilder) Thread(pid, tid int, name string) {
+	b.add(chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+}
+
+// Span emits one complete ("X") event.  A non-positive duration is clamped
+// to 1 so zero-length stages remain visible in the viewer.
+func (b *TraceBuilder) Span(pid, tid int, name, cat string, ts, durUS int64, args map[string]any) {
+	if durUS <= 0 {
+		durUS = 1
+	}
+	b.add(chromeEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: durUS, Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant emits an instant ("i") event; scope is the catapult "s" field
+// ("t" thread, "p" process, "g" global).
+func (b *TraceBuilder) Instant(pid, tid int, name, cat, scope string, ts int64) {
+	b.add(chromeEvent{Name: name, Cat: cat, Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: scope})
+}
+
+// Counter emits one counter ("C") sample carrying a set of series values.
+func (b *TraceBuilder) Counter(pid, tid int, name string, ts int64, values map[string]any) {
+	b.add(chromeEvent{Name: name, Ph: "C", Ts: ts, Pid: pid, Tid: tid, Args: values})
+}
+
+func (b *TraceBuilder) add(e chromeEvent) {
+	b.trace.TraceEvents = append(b.trace.TraceEvents, e)
+}
+
+// Write encodes the accumulated trace as catapult JSON.
+func (b *TraceBuilder) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(&b.trace)
+}

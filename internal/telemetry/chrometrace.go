@@ -1,7 +1,6 @@
 package telemetry
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
@@ -50,27 +49,20 @@ type chromeTrace struct {
 	OtherData       map[string]string `json:"otherData,omitempty"`
 }
 
-func meta(pid int, name string) chromeEvent {
-	return chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}}
-}
-
 // WriteChromeTrace converts a trace collection (events plus stage spans)
-// and an optional sample series into catapult JSON.  Either input may be
-// nil.  Output is deterministic for a given input: events are emitted in
-// recording order and waves in first-correction order, so golden-file
-// tests are stable.
+// and an optional sample series into catapult JSON via a TraceBuilder.
+// Either input may be nil.  Output is deterministic for a given input:
+// events are emitted in recording order and waves in first-correction
+// order, so golden-file tests are stable.
 func WriteChromeTrace(w io.Writer, c *trace.Collector, samples []sim.Sample) error {
-	out := chromeTrace{
-		TraceEvents:     []chromeEvent{},
-		DisplayTimeUnit: "ms",
-		OtherData:       map[string]string{"source": "dsre", "time_unit": "1 cycle = 1us"},
-	}
-	add := func(e chromeEvent) { out.TraceEvents = append(out.TraceEvents, e) }
+	b := NewTraceBuilder()
+	b.SetMeta("source", "dsre")
+	b.SetMeta("time_unit", "1 cycle = 1us")
 
-	add(meta(pidPipeline, "pipeline"))
-	add(meta(pidWaves, "waves"))
-	add(meta(pidTiles, "tiles"))
-	add(meta(pidCounters, "counters"))
+	b.Process(pidPipeline, "pipeline")
+	b.Process(pidWaves, "waves")
+	b.Process(pidTiles, "tiles")
+	b.Process(pidCounters, "counters")
 
 	// Wave lifetimes are derived from the event stream: a wave starts at
 	// its correction injection and ends at the last re-execution carrying
@@ -93,10 +85,8 @@ func WriteChromeTrace(w io.Writer, c *trace.Collector, samples []sim.Sample) err
 					waveByTag[e.Tag] = ws
 					waves = append(waves, ws)
 				}
-				add(chromeEvent{
-					Name: fmt.Sprintf("correction b%d.i%d", e.Seq, e.Idx), Cat: "wave",
-					Ph: "i", Ts: e.Cycle, Pid: pidWaves, Tid: int(e.Tag % waveLanes), S: "p",
-				})
+				b.Instant(pidWaves, int(e.Tag%waveLanes),
+					fmt.Sprintf("correction b%d.i%d", e.Seq, e.Idx), "wave", "p", e.Cycle)
 			case trace.KindReexec:
 				if ws, ok := waveByTag[e.Tag]; ok {
 					ws.reexecs++
@@ -105,26 +95,21 @@ func WriteChromeTrace(w io.Writer, c *trace.Collector, samples []sim.Sample) err
 					}
 				}
 			case trace.KindBlockCommit:
-				add(chromeEvent{
-					Name: fmt.Sprintf("commit b%d", e.Seq), Cat: "commit",
-					Ph: "i", Ts: e.Cycle, Pid: pidPipeline, Tid: 1 + int(e.Seq%frameLanes), S: "t",
-				})
+				b.Instant(pidPipeline, 1+int(e.Seq%frameLanes),
+					fmt.Sprintf("commit b%d", e.Seq), "commit", "t", e.Cycle)
 			case trace.KindBlockSquash:
-				add(chromeEvent{
-					Name: fmt.Sprintf("squash b%d", e.Seq), Cat: "squash",
-					Ph: "i", Ts: e.Cycle, Pid: pidPipeline, Tid: 1 + int(e.Seq%frameLanes), S: "t",
-				})
+				b.Instant(pidPipeline, 1+int(e.Seq%frameLanes),
+					fmt.Sprintf("squash b%d", e.Seq), "squash", "t", e.Cycle)
 			}
 		}
 
 		for _, sp := range c.Spans {
 			switch sp.Kind {
 			case trace.SpanFetch:
-				add(chromeEvent{
-					Name: fmt.Sprintf("fetch b%d (block %d)", sp.Seq, sp.Idx), Cat: "fetch",
-					Ph: "X", Ts: sp.Start, Dur: dur(sp.Start, sp.End), Pid: pidPipeline, Tid: 0,
-					Args: map[string]any{"seq": sp.Seq, "block": sp.Idx},
-				})
+				b.Span(pidPipeline, 0,
+					fmt.Sprintf("fetch b%d (block %d)", sp.Seq, sp.Idx), "fetch",
+					sp.Start, sp.End-sp.Start,
+					map[string]any{"seq": sp.Seq, "block": sp.Idx})
 			case trace.SpanBlock:
 				name := fmt.Sprintf("b%d (block %d)", sp.Seq, sp.Idx)
 				cat := "block"
@@ -132,68 +117,50 @@ func WriteChromeTrace(w io.Writer, c *trace.Collector, samples []sim.Sample) err
 					name += " SQUASHED"
 					cat = "block-squashed"
 				}
-				add(chromeEvent{
-					Name: name, Cat: cat,
-					Ph: "X", Ts: sp.Start, Dur: dur(sp.Start, sp.End),
-					Pid: pidPipeline, Tid: 1 + int(sp.Seq%frameLanes),
-					Args: map[string]any{"seq": sp.Seq, "block": sp.Idx, "squashed": sp.Tag == 1},
-				})
+				b.Span(pidPipeline, 1+int(sp.Seq%frameLanes), name, cat,
+					sp.Start, sp.End-sp.Start,
+					map[string]any{"seq": sp.Seq, "block": sp.Idx, "squashed": sp.Tag == 1})
 			case trace.SpanExec:
-				add(chromeEvent{
-					Name: fmt.Sprintf("b%d.i%d", sp.Seq, sp.Idx), Cat: "exec",
-					Ph: "X", Ts: sp.Start, Dur: dur(sp.Start, sp.End),
-					Pid: pidTiles, Tid: sp.Idx % tileLanes,
-					Args: map[string]any{"tag": sp.Tag},
-				})
+				b.Span(pidTiles, sp.Idx%tileLanes,
+					fmt.Sprintf("b%d.i%d", sp.Seq, sp.Idx), "exec",
+					sp.Start, sp.End-sp.Start,
+					map[string]any{"tag": sp.Tag})
 			case trace.SpanWave:
 				// Pre-derived wave spans (synthetic collections).
-				add(waveEvent(sp.Tag, sp.Seq, sp.Start, sp.End, int(sp.Idx), len(waves)))
+				waveEvent(b, sp.Tag, sp.Seq, sp.Start, sp.End, int(sp.Idx), len(waves))
 			}
 		}
 	}
 
 	for i, ws := range waves {
-		add(waveEvent(ws.tag, ws.seq, ws.start, ws.end, ws.reexecs, i))
+		waveEvent(b, ws.tag, ws.seq, ws.start, ws.end, ws.reexecs, i)
 	}
 
 	for _, s := range samples {
-		add(chromeEvent{Name: "IPC", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
-			Args: map[string]any{"ipc": s.IPC}})
-		add(chromeEvent{Name: "occupancy", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
-			Args: map[string]any{
-				"blocks": s.InFlightBlocks, "lsq": s.LSQOccupancy, "noc": s.NoCPending,
-			}})
-		add(chromeEvent{Name: "speculation", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
-			Args: map[string]any{"waves": s.Waves, "reexecs": s.Reexecs, "flushes": s.Flushes}})
-		add(chromeEvent{Name: "miss-rate", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
-			Args: map[string]any{"l1d": s.L1DMissRate, "l2": s.L2MissRate}})
-		add(chromeEvent{Name: "cpi", Ph: "C", Ts: s.Cycle, Pid: pidCounters, Tid: 0,
-			Args: map[string]any{
-				"commit": s.CPI.Commit, "wave": s.CPI.Wave, "bpred": s.CPI.BPred,
-				"fetch": s.CPI.Fetch, "drain": s.CPI.Drain, "cache_miss": s.CPI.CacheMiss,
-				"issue": s.CPI.Issue, "noc": s.CPI.NoC,
-			}})
+		b.Counter(pidCounters, 0, "IPC", s.Cycle, map[string]any{"ipc": s.IPC})
+		b.Counter(pidCounters, 0, "occupancy", s.Cycle, map[string]any{
+			"blocks": s.InFlightBlocks, "lsq": s.LSQOccupancy, "noc": s.NoCPending,
+		})
+		b.Counter(pidCounters, 0, "speculation", s.Cycle, map[string]any{
+			"waves": s.Waves, "reexecs": s.Reexecs, "flushes": s.Flushes,
+		})
+		b.Counter(pidCounters, 0, "miss-rate", s.Cycle, map[string]any{
+			"l1d": s.L1DMissRate, "l2": s.L2MissRate,
+		})
+		b.Counter(pidCounters, 0, "cpi", s.Cycle, map[string]any{
+			"commit": s.CPI.Commit, "wave": s.CPI.Wave, "bpred": s.CPI.BPred,
+			"fetch": s.CPI.Fetch, "drain": s.CPI.Drain, "cache_miss": s.CPI.CacheMiss,
+			"issue": s.CPI.Issue, "noc": s.CPI.NoC,
+		})
 	}
 
-	enc := json.NewEncoder(w)
-	return enc.Encode(&out)
+	return b.Write(w)
 }
 
 // waveEvent renders one recovery-wave lifetime span.
-func waveEvent(tag uint64, seq, start, end int64, reexecs, ordinal int) chromeEvent {
-	return chromeEvent{
-		Name: fmt.Sprintf("wave t%d (b%d)", tag, seq), Cat: "wave",
-		Ph: "X", Ts: start, Dur: dur(start, end),
-		Pid: pidWaves, Tid: ordinal % waveLanes,
-		Args: map[string]any{"tag": tag, "origin_block": seq, "reexecs": reexecs},
-	}
-}
-
-// dur returns a strictly positive duration so zero-length stages remain
-// visible in the viewer.
-func dur(start, end int64) int64 {
-	if end <= start {
-		return 1
-	}
-	return end - start
+func waveEvent(b *TraceBuilder, tag uint64, seq, start, end int64, reexecs, ordinal int) {
+	b.Span(pidWaves, ordinal%waveLanes,
+		fmt.Sprintf("wave t%d (b%d)", tag, seq), "wave",
+		start, end-start,
+		map[string]any{"tag": tag, "origin_block": seq, "reexecs": reexecs})
 }
