@@ -5,76 +5,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"repro/internal/account"
+	"repro/internal/explain"
+	"repro/internal/serve"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
 
-// ExplainSchema identifies the -json output format.
-const ExplainSchema = "dsre-explain/v1"
-
-// runView is one explained run in the -json document.
-type runView struct {
-	Source   string `json:"source"`
-	Workload string `json:"workload"`
-	Scheme   string `json:"scheme"`
-	Size     int    `json:"size,omitempty"`
-
-	Cycles int64   `json:"cycles"`
-	Insts  int64   `json:"insts"`
-	Blocks int64   `json:"blocks"`
-	IPC    float64 `json:"ipc"`
-
-	// CPI is the run's cumulative cycle-accounting stack; CPIShare the same
-	// stack as per-bucket fractions of the cycle budget.  Both are zero for
-	// reports recorded without accounting.
-	CPI       account.CPIStack `json:"cpi"`
-	CPIShare  []bucketShare    `json:"cpi_share,omitempty"`
-	Forensics account.Summary  `json:"forensics"`
-	HotBlocks []blockView      `json:"hot_blocks,omitempty"`
-}
-
-type bucketShare struct {
-	Bucket string  `json:"bucket"`
-	Slots  int64   `json:"slots"`
-	Pct    float64 `json:"pct"`
-}
-
-// blockView aggregates forensic load profiles by static block.
-type blockView struct {
-	Block      string `json:"block"`
-	Events     int64  `json:"events"`
-	Reexecs    int64  `json:"reexecs"`
-	SquashCost int64  `json:"squash_cost"`
-}
-
-type diffView struct {
-	A           string        `json:"a"`
-	B           string        `json:"b"`
-	IPCA        float64       `json:"ipc_a"`
-	IPCB        float64       `json:"ipc_b"`
-	IPCDelta    float64       `json:"ipc_delta"`
-	IPCDeltaRel float64       `json:"ipc_delta_rel"`
-	Tolerance   float64       `json:"tolerance"`
-	Within      bool          `json:"within_tolerance"`
-	CPIShift    []bucketShift `json:"cpi_shift,omitempty"`
-}
-
-type bucketShift struct {
-	Bucket string  `json:"bucket"`
-	APct   float64 `json:"a_pct"`
-	BPct   float64 `json:"b_pct"`
-	Delta  float64 `json:"delta_pct"`
-}
-
-type explainDoc struct {
-	Schema string    `json:"schema"`
-	Runs   []runView `json:"runs,omitempty"`
-	Diff   *diffView `json:"diff,omitempty"`
-}
+// ExplainSchema identifies the -json output format (see internal/explain).
+const ExplainSchema = explain.Schema
 
 // run is the CLI body; main exits with its return value.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -84,18 +25,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	top := fs.Int("top", 10, "how many hot loads/blocks/stores to show")
 	diff := fs.Bool("diff", false, "compare exactly two reports (base, new)")
 	tol := fs.Float64("tolerance", 0, "relative IPC change -diff accepts before exiting 3")
-	manifest := fs.String("manifest", "", "sweep manifest to explain (requires -cache)")
+	manifest := fs.String("manifest", "", "sweep manifest to explain (requires -cache or -cache-url)")
 	cacheDir := fs.String("cache", "", "sweep result cache directory for -manifest")
+	cacheURL := fs.String("cache-url", "", "dsre-serve daemon serving the cache for -manifest (exclusive with -cache)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	var runs []runView
+	var runs []explain.RunView
 	switch {
 	case *manifest != "":
-		if *cacheDir == "" {
-			fmt.Fprintln(stderr, "dsre-explain: -manifest requires -cache")
-			return 2
+		st, rc := openStore(*cacheDir, *cacheURL, stderr)
+		if rc != 0 {
+			return rc
 		}
 		if fs.NArg() != 0 {
 			fmt.Fprintln(stderr, "dsre-explain: -manifest takes no report files")
@@ -103,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		var missing int
 		var err error
-		runs, missing, err = loadManifestRuns(*manifest, *cacheDir)
+		runs, missing, err = loadManifestRuns(*manifest, st)
 		if err != nil {
 			fmt.Fprintf(stderr, "dsre-explain: %v\n", err)
 			return 1
@@ -111,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if missing > 0 {
 			// Not fatal: the cache may have been pruned or written by an
 			// older simulator version; explain what is still there.
-			fmt.Fprintf(stderr, "dsre-explain: %d completed jobs missing from cache %s\n", missing, *cacheDir)
+			fmt.Fprintf(stderr, "dsre-explain: %d completed jobs missing from cache\n", missing)
 		}
 	case *diff:
 		if fs.NArg() != 2 {
@@ -122,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		if fs.NArg() == 0 {
 			fmt.Fprintln(stderr, "usage: dsre-explain [-json] [-top N] report.json...")
-			fmt.Fprintln(stderr, "       dsre-explain -manifest sweep-manifest.json -cache DIR")
+			fmt.Fprintln(stderr, "       dsre-explain -manifest sweep-manifest.json -cache DIR | -cache-url URL")
 			fmt.Fprintln(stderr, "       dsre-explain -diff base.json new.json [-tolerance F]")
 			return 2
 		}
@@ -132,12 +74,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "dsre-explain: %v\n", err)
 				return 1
 			}
-			runs = append(runs, view(path, rep, *top))
+			runs = append(runs, explain.View(path, rep, *top))
 		}
 	}
 
 	if *jsonOut {
-		return emitJSON(stdout, stderr, explainDoc{Schema: ExplainSchema, Runs: runs})
+		return emitJSON(stdout, stderr, explain.Doc{Schema: explain.Schema, Runs: runs})
 	}
 	for i := range runs {
 		printRun(stdout, &runs[i], *top)
@@ -145,18 +87,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// loadManifestRuns explains every completed job of a sweep from its cache,
+// openStore resolves the -manifest payload source: a local cache directory
+// or a dsre-serve daemon's artifact store.
+func openStore(cacheDir, cacheURL string, stderr io.Writer) (sweep.Store, int) {
+	switch {
+	case cacheDir != "" && cacheURL != "":
+		fmt.Fprintln(stderr, "dsre-explain: -cache and -cache-url are exclusive; pick one store")
+		return nil, 2
+	case cacheDir != "":
+		st, err := sweep.OpenStore(cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "dsre-explain: %v\n", err)
+			return nil, 1
+		}
+		return st, 0
+	case cacheURL != "":
+		return serve.NewRemoteStore(cacheURL, nil), 0
+	default:
+		fmt.Fprintln(stderr, "dsre-explain: -manifest requires -cache or -cache-url")
+		return nil, 2
+	}
+}
+
+// loadManifestRuns explains every completed job of a sweep from its store,
 // also reporting how many completed jobs had no cached payload.
-func loadManifestRuns(path, cacheDir string) ([]runView, int, error) {
+func loadManifestRuns(path string, st sweep.Store) ([]explain.RunView, int, error) {
 	m, err := sweep.ReadManifest(path)
 	if err != nil {
 		return nil, 0, err
 	}
-	st, err := sweep.OpenStore(cacheDir)
-	if err != nil {
-		return nil, 0, err
-	}
-	var runs []runView
+	var runs []explain.RunView
 	missing := 0
 	for _, j := range m.Jobs {
 		if j.Status != sweep.StatusOK {
@@ -170,74 +130,15 @@ func loadManifestRuns(path, cacheDir string) ([]runView, int, error) {
 			missing++
 			continue
 		}
-		runs = append(runs, view(j.Spec.Name(), rec.Report, 0))
+		runs = append(runs, explain.View(j.Spec.Name(), rec.Report, 0))
 	}
 	if len(runs) == 0 {
-		return nil, missing, fmt.Errorf("manifest %s: no completed jobs found in cache %s", path, cacheDir)
+		return nil, missing, fmt.Errorf("manifest %s: no completed jobs found in the cache", path)
 	}
 	return runs, missing, nil
 }
 
-// view folds one report into its explained form.
-func view(source string, rep *telemetry.Report, top int) runView {
-	v := runView{
-		Source:    source,
-		Workload:  rep.Workload,
-		Scheme:    rep.Scheme,
-		Size:      rep.Size,
-		Cycles:    rep.Cycles,
-		Insts:     rep.Insts,
-		Blocks:    rep.Blocks,
-		IPC:       rep.IPC,
-		CPI:       rep.Stats.Acct,
-		Forensics: rep.Stats.Forensics,
-	}
-	if total := v.CPI.Total(); total > 0 {
-		for b := account.Bucket(0); b < account.NumBuckets; b++ {
-			n := v.CPI.Get(b)
-			v.CPIShare = append(v.CPIShare, bucketShare{
-				Bucket: b.String(),
-				Slots:  n,
-				Pct:    100 * float64(n) / float64(total),
-			})
-		}
-	}
-	v.HotBlocks = hotBlocks(v.Forensics.Loads, top)
-	return v
-}
-
-// hotBlocks regroups per-load forensics by static block ("b3.i7" → "b3").
-func hotBlocks(loads []account.LoadProfile, top int) []blockView {
-	var blocks []blockView
-	for _, p := range loads {
-		name := p.LoadPC
-		if i := strings.IndexByte(name, '.'); i > 0 {
-			name = name[:i]
-		}
-		found := false
-		for j := range blocks {
-			if blocks[j].Block == name {
-				blocks[j].Events += p.Events
-				blocks[j].Reexecs += p.Reexecs
-				blocks[j].SquashCost += p.SquashCost
-				found = true
-				break
-			}
-		}
-		if !found {
-			blocks = append(blocks, blockView{
-				Block: name, Events: p.Events, Reexecs: p.Reexecs, SquashCost: p.SquashCost,
-			})
-		}
-	}
-	sort.SliceStable(blocks, func(a, b int) bool { return blocks[a].Events > blocks[b].Events })
-	if top > 0 && len(blocks) > top {
-		blocks = blocks[:top]
-	}
-	return blocks
-}
-
-func printRun(w io.Writer, v *runView, top int) {
+func printRun(w io.Writer, v *explain.RunView, top int) {
 	fmt.Fprintf(w, "== %s / %s", v.Workload, v.Scheme)
 	if v.Size > 0 {
 		fmt.Fprintf(w, " (size %d)", v.Size)
@@ -315,32 +216,10 @@ func runDiff(pathA, pathB string, tol float64, jsonOut bool, stdout, stderr io.W
 		fmt.Fprintf(stderr, "dsre-explain: %v\n", err)
 		return 1
 	}
-	d := diffView{
-		A: pathA, B: pathB,
-		IPCA: a.IPC, IPCB: b.IPC,
-		IPCDelta:  b.IPC - a.IPC,
-		Tolerance: tol,
-	}
-	if a.IPC != 0 {
-		d.IPCDeltaRel = (b.IPC - a.IPC) / a.IPC
-	}
-	d.Within = abs(d.IPCDeltaRel) <= tol
-	ta, tb := a.Stats.Acct.Total(), b.Stats.Acct.Total()
-	if ta > 0 && tb > 0 {
-		for bk := account.Bucket(0); bk < account.NumBuckets; bk++ {
-			ap := 100 * float64(a.Stats.Acct.Get(bk)) / float64(ta)
-			bp := 100 * float64(b.Stats.Acct.Get(bk)) / float64(tb)
-			if ap == 0 && bp == 0 {
-				continue
-			}
-			d.CPIShift = append(d.CPIShift, bucketShift{
-				Bucket: bk.String(), APct: ap, BPct: bp, Delta: bp - ap,
-			})
-		}
-	}
+	d := explain.Diff(pathA, pathB, a, b, tol)
 
 	if jsonOut {
-		if rc := emitJSON(stdout, stderr, explainDoc{Schema: ExplainSchema, Diff: &d}); rc != 0 {
+		if rc := emitJSON(stdout, stderr, explain.Doc{Schema: explain.Schema, Diff: &d}); rc != 0 {
 			return rc
 		}
 	} else {
@@ -358,7 +237,7 @@ func runDiff(pathA, pathB string, tol float64, jsonOut bool, stdout, stderr io.W
 	return 0
 }
 
-func emitJSON(stdout, stderr io.Writer, doc explainDoc) int {
+func emitJSON(stdout, stderr io.Writer, doc explain.Doc) int {
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -366,11 +245,4 @@ func emitJSON(stdout, stderr io.Writer, doc explainDoc) int {
 		return 1
 	}
 	return 0
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro"
 	"repro/internal/account"
+	"repro/internal/explain"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
@@ -55,7 +56,7 @@ func TestExplainJSONConserves(t *testing.T) {
 	if rc := run([]string{"-json", path}, &out, &errb); rc != 0 {
 		t.Fatalf("exit %d, stderr: %s", rc, errb.String())
 	}
-	var doc explainDoc
+	var doc explain.Doc
 	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
 		t.Fatalf("output is not JSON: %v", err)
 	}
@@ -110,7 +111,7 @@ func TestExplainDiffJSON(t *testing.T) {
 	if rc := run([]string{"-diff", "-json", a, a}, &out, &errb); rc != 0 {
 		t.Fatalf("exit %d, stderr: %s", rc, errb.String())
 	}
-	var doc explainDoc
+	var doc explain.Doc
 	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestExplainManifestMode(t *testing.T) {
 	if rc := run([]string{"-json", "-manifest", mpath, "-cache", cache}, &out, &errb); rc != 0 {
 		t.Fatalf("exit %d, stderr: %s", rc, errb.String())
 	}
-	var doc explainDoc
+	var doc explain.Doc
 	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
 		t.Fatal(err)
 	}

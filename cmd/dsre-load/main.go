@@ -1,0 +1,261 @@
+// dsre-load drives a dsre-serve daemon the way a fleet of impatient users
+// would and verifies the service-level invariants: N concurrent clients
+// submit the same grid for several rounds, every sweep must finish with
+// zero failed jobs, no job may execute more than once (content-addressed
+// dedup), no upload may be dropped as a duplicate in a crash-free run, and
+// warm rounds must hit the cache at or above a threshold rate.
+//
+//	dsre-load -url http://127.0.0.1:8177 -grid grid.json -clients 4 -rounds 2
+//
+// Exit codes: 0 all checks pass, 1 an invariant failed, 2 usage or
+// communication error.  CI runs it against a daemon plus two workers as
+// the serve-smoke acceptance gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dsre-load: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// defaultGrid is the built-in tiny grid used when -grid is absent: a few
+// fast points with duplicate spellings so dedup is exercised by default.
+var defaultGrid = sweep.Grid{
+	Workloads: []string{"vecsum"},
+	Schemes:   []string{"dsre", "oracle"},
+	Sizes:     []int{64},
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) submit(tenant string, grid *sweep.Grid) (*serve.SweepView, error) {
+	body, err := json.Marshal(serve.SubmitRequest{Schema: serve.SubmitSchema, Grid: grid})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/sweeps", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-DSRE-Tenant", tenant)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var v serve.SweepView
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+	return &v, nil
+}
+
+func (c *client) sweep(id string) (*serve.SweepView, error) {
+	var v serve.SweepView
+	if err := c.getJSON("/v1/sweeps/"+id, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+func (c *client) progress() (*obs.ServeProgressView, error) {
+	var v obs.ServeProgressView
+	if err := c.getJSON("/progress", &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+func (c *client) getJSON(path string, v any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(v)
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8177", "daemon base URL")
+	gridPath := flag.String("grid", "", "grid JSON to submit (default: built-in tiny grid)")
+	clients := flag.Int("clients", 4, "concurrent submitting clients per round")
+	rounds := flag.Int("rounds", 2, "submission rounds (round 1 is cold, the rest warm)")
+	tenant := flag.String("tenant", "load", "tenant name prefix (each client appends its index)")
+	warmRate := flag.Float64("warm-hit-rate", 0.9, "minimum cache-hit rate required of warm rounds")
+	poll := flag.Duration("poll", 100*time.Millisecond, "sweep status poll interval")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments %q", flag.Args())
+	}
+
+	grid := defaultGrid
+	if *gridPath != "" {
+		g, err := sweep.ReadGrid(*gridPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		grid = *g
+	}
+	specs, err := grid.Expand()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	c := &client{base: strings.TrimRight(*url, "/"), http: &http.Client{Timeout: 30 * time.Second}}
+	deadline := time.Now().Add(*timeout)
+	start := time.Now()
+
+	type roundStat struct {
+		sweeps  []*serve.SweepView
+		elapsed time.Duration
+	}
+	var stats []roundStat
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "dsre-load: FAIL: "+format+"\n", args...)
+	}
+
+	for round := 1; round <= *rounds; round++ {
+		roundStart := time.Now()
+		ids := make([]string, *clients)
+		errsCh := make(chan error, *clients)
+		var wg sync.WaitGroup
+		for i := 0; i < *clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				v, err := c.submit(fmt.Sprintf("%s-%d", *tenant, i), &grid)
+				if err != nil {
+					errsCh <- err
+					return
+				}
+				ids[i] = v.Sweep
+			}(i)
+		}
+		wg.Wait()
+		close(errsCh)
+		for err := range errsCh {
+			fatalf("round %d: %v", round, err)
+		}
+
+		// Poll every sweep of the round to completion.
+		views := make([]*serve.SweepView, *clients)
+		for i, id := range ids {
+			for {
+				if time.Now().After(deadline) {
+					fatalf("round %d: timeout waiting for sweep %s", round, id)
+				}
+				v, err := c.sweep(id)
+				if err != nil {
+					fatalf("round %d: %v", round, err)
+				}
+				if v.Finished {
+					views[i] = v
+					break
+				}
+				time.Sleep(*poll)
+			}
+		}
+		stats = append(stats, roundStat{sweeps: views, elapsed: time.Since(roundStart)})
+	}
+
+	// Invariants per sweep: nothing lost (all finished, done == total,
+	// zero failed), and warm rounds nearly all cache hits.
+	for r, st := range stats {
+		for _, v := range st.sweeps {
+			if v.Total != len(specs) {
+				fail("sweep %s: total %d, submitted %d", v.Sweep, v.Total, len(specs))
+			}
+			if v.Done != v.Total || v.Failed != 0 {
+				fail("sweep %s: done %d failed %d of %d (lost jobs)", v.Sweep, v.Done, v.Failed, v.Total)
+			}
+			if r > 0 {
+				rate := float64(v.CacheHits) / float64(v.Total)
+				if rate < *warmRate {
+					fail("sweep %s (warm round %d): cache-hit rate %.2f < %.2f", v.Sweep, r+1, rate, *warmRate)
+				}
+			}
+		}
+	}
+
+	// Fleet-level invariants from /progress: every unique job completed,
+	// no duplicate executions (executions never exceeds unique jobs) and
+	// no dropped uploads in a crash-free run.
+	prog, err := c.progress()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	t := prog.Totals
+	if t.Failed != 0 {
+		fail("progress: %d unique jobs failed", t.Failed)
+	}
+	if t.Done != t.UniqueJobs {
+		fail("progress: %d unique jobs done of %d queued (lost jobs)", t.Done, t.UniqueJobs)
+	}
+	if t.Executions > t.UniqueJobs {
+		fail("progress: %d executions for %d unique jobs (duplicated work)", t.Executions, t.UniqueJobs)
+	}
+	if t.UploadDuplicates != 0 {
+		fail("progress: %d duplicate uploads in a crash-free run", t.UploadDuplicates)
+	}
+	if t.Queued != 0 || t.Leased != 0 {
+		fail("progress: queue not drained (queued %d, leased %d)", t.Queued, t.Leased)
+	}
+
+	total := time.Since(start)
+	specsDone := *clients * *rounds * len(specs)
+	fmt.Printf("dsre-load: %d rounds x %d clients x %d specs = %d specs in %s (%.1f specs/s)\n",
+		*rounds, *clients, len(specs), specsDone, total.Round(time.Millisecond),
+		float64(specsDone)/total.Seconds())
+	for r, st := range stats {
+		hits, tot := 0, 0
+		for _, v := range st.sweeps {
+			hits += v.CacheHits
+			tot += v.Total
+		}
+		kind := "cold"
+		if r > 0 {
+			kind = "warm"
+		}
+		fmt.Printf("  round %d (%s): %s, cache-hit rate %.2f (%d/%d)\n",
+			r+1, kind, st.elapsed.Round(time.Millisecond), float64(hits)/float64(tot), hits, tot)
+	}
+	fmt.Printf("  fleet: %d unique executions, %d cache hits, %d uploads, %d requeues, %d lease expiries\n",
+		t.Executions, t.CacheHits, t.Uploads, t.Requeues, t.LeaseExpiries)
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "dsre-load: %d invariant(s) failed\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("dsre-load: all invariants hold")
+}

@@ -9,6 +9,7 @@
 //	dsre-sweep -grid grid.json                    # declarative cross product
 //	dsre-sweep -workloads vecsum,histogram -schemes dsre,oracle -sizes 256
 //	dsre-sweep -cache .dsre-cache -jobs 8 -retries 1 -timeout 10m
+//	dsre-sweep -cache-url http://daemon:8177 ...   # share a dsre-serve cache
 //	dsre-sweep -manifest sweep-manifest.json -reports out/
 //	dsre-sweep -resume sweep-manifest.json        # re-run a prior sweep's grid
 //
@@ -36,6 +37,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +50,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/status"
+	"repro/internal/serve"
 	"repro/internal/sweep"
 )
 
@@ -107,6 +110,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock budget (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts per failed job")
 	cache := flag.String("cache", "", "content-addressed result cache directory (empty disables)")
+	cacheURL := flag.String("cache-url", "", "dsre-serve daemon whose artifact store backs the cache (exclusive with -cache)")
 	manifest := flag.String("manifest", "sweep-manifest.json", "manifest output path (empty disables)")
 	reports := flag.String("reports", "", "directory for per-point dsre-report/v1 artifacts (empty disables)")
 	quiet := flag.Bool("q", false, "suppress per-job progress on stderr")
@@ -131,6 +135,10 @@ func main() {
 		}
 		m, err := sweep.ReadManifest(*resume)
 		if err != nil {
+			var se *sweep.SchemaError
+			if errors.As(err, &se) && se.Newer() {
+				fatalf("cannot resume: %v", se)
+			}
 			fatalf("%v", err)
 		}
 		specs = m.Specs()
@@ -162,12 +170,17 @@ func main() {
 	}
 
 	opts := sweep.Options{Workers: *jobs, Timeout: *timeout, Retries: *retries}
-	if *cache != "" {
+	switch {
+	case *cache != "" && *cacheURL != "":
+		fatalf("-cache and -cache-url are exclusive; pick one store")
+	case *cache != "":
 		st, err := sweep.OpenStore(*cache)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		opts.Store = st
+	case *cacheURL != "":
+		opts.Store = serve.NewRemoteStore(*cacheURL, nil)
 	}
 	if !*quiet {
 		opts.Progress = sweep.NewReporter(os.Stderr, *jobs)

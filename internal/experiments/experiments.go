@@ -36,6 +36,10 @@ type Opts struct {
 	// re-running an experiment after an unrelated edit replays cached
 	// points (see internal/sweep).  Empty disables caching.
 	CacheDir string
+	// Store, when set, overrides CacheDir with an already-opened result
+	// store (a local DirStore or a RemoteStore speaking to a dsre-serve
+	// daemon); nil falls back to CacheDir.
+	Store sweep.Store
 	// Progress streams per-job completion lines (dsre-bench passes
 	// stderr); nil is silent.
 	Progress io.Writer
@@ -54,12 +58,13 @@ type Opts struct {
 // NewEngine builds the sweep engine an Opts describes.  Assign the result
 // to Opts.Engine to share workload preparation across experiments.
 func NewEngine(o Opts) (*sweep.Engine, error) {
-	var st *sweep.Store
-	if o.CacheDir != "" {
-		var err error
-		if st, err = sweep.OpenStore(o.CacheDir); err != nil {
+	st := o.Store
+	if st == nil && o.CacheDir != "" {
+		ds, err := sweep.OpenStore(o.CacheDir)
+		if err != nil {
 			return nil, err
 		}
+		st = ds
 	}
 	var rep *sweep.Reporter
 	if o.Progress != nil {

@@ -110,6 +110,7 @@ func DefaultConfig() Config {
 			"internal/account.EventKind",
 			"internal/obs.EventKind",
 			"internal/obs.Phase",
+			"internal/serve.JobState",
 		},
 	}
 }

@@ -38,6 +38,24 @@ const (
 	EventDrain
 	// EventSweepDone closes one engine Run with its totals.
 	EventSweepDone
+	// EventStoreCorrupt records a cached record rejected by payload SHA-256
+	// verification (read as a miss and recomputed).
+	EventStoreCorrupt
+	// EventSubmit records one grid submitted to a dsre-serve daemon.
+	EventSubmit
+	// EventLease records a fleet worker leasing one queued job.
+	EventLease
+	// EventLeaseExpired records a lease whose heartbeats stopped (worker
+	// crash or partition); the job is requeued or failed.
+	EventLeaseExpired
+	// EventRequeue records a job returned to the queue for another attempt.
+	EventRequeue
+	// EventUpload records a fleet result upload: Status "ok"/"failed", or
+	// "duplicate" when first-write-wins dedup dropped a second copy.
+	EventUpload
+	// EventServeDrain records a daemon draining on SIGTERM: in-flight jobs
+	// finish, manifests flush, queued jobs are abandoned.
+	EventServeDrain
 )
 
 // String returns the wire spelling of the kind.
@@ -61,6 +79,20 @@ func (k EventKind) String() string {
 		return "drain"
 	case EventSweepDone:
 		return "sweep_done"
+	case EventStoreCorrupt:
+		return "store_corrupt"
+	case EventSubmit:
+		return "submit"
+	case EventLease:
+		return "lease"
+	case EventLeaseExpired:
+		return "lease_expired"
+	case EventRequeue:
+		return "requeue"
+	case EventUpload:
+		return "upload"
+	case EventServeDrain:
+		return "serve_drain"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -72,6 +104,8 @@ func EventKinds() []EventKind {
 	return []EventKind{
 		EventSweepStart, EventJobStart, EventJobDone, EventCacheHit, EventRetry,
 		EventPanic, EventStoreWrite, EventDrain, EventSweepDone,
+		EventStoreCorrupt, EventSubmit, EventLease, EventLeaseExpired,
+		EventRequeue, EventUpload, EventServeDrain,
 	}
 }
 
@@ -126,6 +160,14 @@ type Event struct {
 	Copies    int    `json:"copies,omitempty"`
 	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
 	Error     string `json:"error,omitempty"`
+
+	// Service-level identity (dsre-serve): the submitting tenant, the
+	// daemon-assigned sweep ID, the fleet worker's name, and the lease the
+	// event belongs to.
+	Tenant string `json:"tenant,omitempty"`
+	Sweep  string `json:"sweep,omitempty"`
+	Peer   string `json:"peer,omitempty"`
+	Lease  string `json:"lease,omitempty"`
 
 	// Sweep-level totals (sweep_start carries Total/Unique/Workers,
 	// sweep_done the final fold).

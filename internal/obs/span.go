@@ -26,6 +26,13 @@ const (
 	PhaseRun
 	// PhaseStoreWrite covers writing the result object to the store.
 	PhaseStoreWrite
+	// PhaseRemoteRun covers a fleet job's execution on a remote worker,
+	// from lease grant to result upload (the daemon cannot split the
+	// worker-side prepare/run; the worker's own span log can).
+	PhaseRemoteRun
+	// PhaseUpload covers the daemon-side processing of a fleet result
+	// upload (payload verification + store write + queue completion).
+	PhaseUpload
 )
 
 // String returns the phase's wire spelling.
@@ -41,6 +48,10 @@ func (p Phase) String() string {
 		return "run"
 	case PhaseStoreWrite:
 		return "store-write"
+	case PhaseRemoteRun:
+		return "remote-run"
+	case PhaseUpload:
+		return "upload"
 	default:
 		return fmt.Sprintf("Phase(%d)", uint8(p))
 	}

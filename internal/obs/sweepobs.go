@@ -27,7 +27,7 @@ type SweepObs struct {
 	mJobs, mOK, mFailed, mHits     *Counter
 	mRetries, mPanics, mStoreFails *Counter
 	mStoreWrites, mDrains, mGrids  *Counter
-	mSimCycles                     *Counter
+	mSimCycles, mStoreCorrupt      *Counter
 	gQueued, gRunning, gBusy       *Gauge
 	gWorkers                       *Gauge
 	hJob, hQueueWait               *Histogram
@@ -58,7 +58,15 @@ type gridState struct {
 // sink and spans may be nil: events and spans are then skipped while
 // metrics and live progress stay on.
 func NewSweepObs(start time.Time, sink EventSink, spans *SpanLog) *SweepObs {
-	reg := NewRegistry()
+	return NewSweepObsInto(NewRegistry(), start, sink, spans)
+}
+
+// NewSweepObsInto builds an observer whose metrics register into an
+// existing registry, so a process hosting several observers (a dsre-serve
+// daemon runs a ServeObs next to its engine's SweepObs) exposes one
+// /metrics page.  Metric names must be process-unique; registering two
+// SweepObs into one registry panics by design.
+func NewSweepObsInto(reg *Registry, start time.Time, sink EventSink, spans *SpanLog) *SweepObs {
 	o := &SweepObs{
 		Reg:   reg,
 		start: start,
@@ -66,23 +74,24 @@ func NewSweepObs(start time.Time, sink EventSink, spans *SpanLog) *SweepObs {
 		spans: spans,
 		rate:  NewRateWindow(32),
 
-		mJobs:        reg.Counter("dsre_sweep_jobs_total", "Sweep jobs completed (dedup copies included), any status."),
-		mOK:          reg.Counter("dsre_sweep_jobs_ok_total", "Sweep jobs completed successfully."),
-		mFailed:      reg.Counter("dsre_sweep_jobs_failed_total", "Sweep jobs that failed after retries."),
-		mHits:        reg.Counter("dsre_sweep_cache_hits_total", "Jobs satisfied by the result store or in-sweep dedup."),
-		mRetries:     reg.Counter("dsre_sweep_retries_total", "Failed attempts that were retried."),
-		mPanics:      reg.Counter("dsre_sweep_panics_total", "Attempts that panicked (isolated to their job)."),
-		mStoreWrites: reg.Counter("dsre_sweep_store_writes_total", "Result objects written to the content-addressed store."),
-		mStoreFails:  reg.Counter("dsre_sweep_store_write_failures_total", "Store writes that failed (cache degraded, sweep unaffected)."),
-		mDrains:      reg.Counter("dsre_sweep_drains_total", "Sweeps cancelled mid-run that drained in-flight jobs."),
-		mGrids:       reg.Counter("dsre_sweep_grids_total", "Engine runs (grids) started."),
-		mSimCycles:   reg.Counter("dsre_sim_cycles_total", "Simulated cycles retired by live (non-cached) runs."),
-		gQueued:      reg.Gauge("dsre_sweep_jobs_queued", "Jobs waiting for a worker."),
-		gRunning:     reg.Gauge("dsre_sweep_jobs_running", "Unique jobs currently executing."),
-		gBusy:        reg.Gauge("dsre_sweep_workers_busy", "Workers currently executing a job."),
-		gWorkers:     reg.Gauge("dsre_sweep_workers", "Worker pool size."),
-		hJob:         reg.Histogram("dsre_sweep_job_seconds", "Wall time of computed (non-cached) jobs.", DurationBounds),
-		hQueueWait:   reg.Histogram("dsre_sweep_queue_wait_seconds", "Time from sweep feed start to worker pickup.", DurationBounds),
+		mJobs:         reg.Counter("dsre_sweep_jobs_total", "Sweep jobs completed (dedup copies included), any status."),
+		mOK:           reg.Counter("dsre_sweep_jobs_ok_total", "Sweep jobs completed successfully."),
+		mFailed:       reg.Counter("dsre_sweep_jobs_failed_total", "Sweep jobs that failed after retries."),
+		mHits:         reg.Counter("dsre_sweep_cache_hits_total", "Jobs satisfied by the result store or in-sweep dedup."),
+		mRetries:      reg.Counter("dsre_sweep_retries_total", "Failed attempts that were retried."),
+		mPanics:       reg.Counter("dsre_sweep_panics_total", "Attempts that panicked (isolated to their job)."),
+		mStoreWrites:  reg.Counter("dsre_sweep_store_writes_total", "Result objects written to the content-addressed store."),
+		mStoreFails:   reg.Counter("dsre_sweep_store_write_failures_total", "Store writes that failed (cache degraded, sweep unaffected)."),
+		mDrains:       reg.Counter("dsre_sweep_drains_total", "Sweeps cancelled mid-run that drained in-flight jobs."),
+		mGrids:        reg.Counter("dsre_sweep_grids_total", "Engine runs (grids) started."),
+		mSimCycles:    reg.Counter("dsre_sim_cycles_total", "Simulated cycles retired by live (non-cached) runs."),
+		mStoreCorrupt: reg.Counter("dsre_sweep_store_corrupt_total", "Cached records rejected by payload SHA-256 verification (read as misses)."),
+		gQueued:       reg.Gauge("dsre_sweep_jobs_queued", "Jobs waiting for a worker."),
+		gRunning:      reg.Gauge("dsre_sweep_jobs_running", "Unique jobs currently executing."),
+		gBusy:         reg.Gauge("dsre_sweep_workers_busy", "Workers currently executing a job."),
+		gWorkers:      reg.Gauge("dsre_sweep_workers", "Worker pool size."),
+		hJob:          reg.Histogram("dsre_sweep_job_seconds", "Wall time of computed (non-cached) jobs.", DurationBounds),
+		hQueueWait:    reg.Histogram("dsre_sweep_queue_wait_seconds", "Time from sweep feed start to worker pickup.", DurationBounds),
 	}
 	return o
 }
@@ -101,6 +110,14 @@ func (o *SweepObs) AddSimCycles(n int64) {
 	if n > 0 {
 		o.mSimCycles.Add(n)
 	}
+}
+
+// StoreCorrupt records a cached record rejected by payload verification:
+// its own counter plus a store_corrupt event.  The read stays a plain
+// cache miss — this is forensics, not control flow.
+func (o *SweepObs) StoreCorrupt(hash, detail string, now time.Time) {
+	o.mStoreCorrupt.Inc()
+	o.emit(Event{Kind: EventStoreCorrupt, Job: hash, Error: firstLine(detail)}, now)
 }
 
 // Grid is the handle for one engine Run.

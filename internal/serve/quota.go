@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Quotas is a per-tenant token bucket over submitted job specs: each
+// tenant accrues Rate tokens per second up to Burst, and a submit of N
+// specs spends N tokens or is rejected with a retry hint.  A Rate of zero
+// disables quotas entirely.
+type Quotas struct {
+	Rate  float64 // tokens (specs) per second per tenant
+	Burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas builds a quota table.  A non-positive rate disables quotas; a
+// non-positive burst defaults to one second of rate.
+func NewQuotas(rate float64, burst float64) *Quotas {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &Quotas{Rate: rate, Burst: burst, buckets: map[string]*bucket{}}
+}
+
+// Allow spends n tokens from tenant's bucket.  When the bucket is short it
+// reports false with the wait until n tokens will have accrued (capped at
+// the burst horizon).
+func (q *Quotas) Allow(tenant string, n int, now time.Time) (bool, time.Duration) {
+	if q == nil || q.Rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: q.Burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.Rate
+		if b.tokens > q.Burst {
+			b.tokens = q.Burst
+		}
+	}
+	b.last = now
+	need := float64(n)
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	short := need - b.tokens
+	if short > q.Burst {
+		short = q.Burst
+	}
+	return false, time.Duration(short / q.Rate * float64(time.Second))
+}

@@ -4,12 +4,60 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/sim"
 )
 
 // ManifestSchema identifies the sweep-manifest wire format.
 const ManifestSchema = "dsre-sweep-manifest/v1"
+
+// SchemaError reports a manifest whose schema stamp this build does not
+// read.  It is detected before the body is decoded, so a manifest from a
+// future dsre-sweep fails with a typed, explainable error instead of a
+// shape-dependent unmarshal failure.
+type SchemaError struct {
+	Path string // file the manifest was read from
+	Got  string // schema stamp found
+	Want string // schema this build reads
+}
+
+func (e *SchemaError) Error() string {
+	if e.Newer() {
+		return fmt.Sprintf("sweep: manifest %s has schema %q, newer than this build's %q — re-run with the dsre-sweep that wrote it, or upgrade", e.Path, e.Got, e.Want)
+	}
+	return fmt.Sprintf("sweep: manifest %s schema %q, want %q", e.Path, e.Got, e.Want)
+}
+
+// Newer reports whether the stamp names a later version of the manifest
+// family this build reads (dsre-sweep-manifest/vN with N greater).
+func (e *SchemaError) Newer() bool {
+	got, okG := schemaVersion(e.Got)
+	want, okW := schemaVersion(e.Want)
+	return okG && okW && sameSchemaFamily(e.Got, e.Want) && got > want
+}
+
+// schemaVersion parses the trailing "/vN" of a schema stamp.
+func schemaVersion(s string) (int, bool) {
+	i := strings.LastIndex(s, "/v")
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[i+2:])
+	return n, err == nil
+}
+
+// sameSchemaFamily compares schema stamps with the "/vN" suffix stripped.
+func sameSchemaFamily(a, b string) bool {
+	trim := func(s string) string {
+		if i := strings.LastIndex(s, "/v"); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	return trim(a) == trim(b)
+}
 
 // Manifest is the machine-readable account of one sweep: every job's spec,
 // hash and outcome, without the result payloads (those live in the store,
@@ -57,18 +105,27 @@ func (m *Manifest) WriteFile(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// ReadManifest loads and schema-checks a manifest.
+// ReadManifest loads and schema-checks a manifest.  The schema stamp is
+// probed before the body decodes: a manifest from a newer (or otherwise
+// foreign) schema returns a *SchemaError instead of whatever unmarshal
+// failure its changed shape would produce.
 func ReadManifest(path string) (*Manifest, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	var hdr struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &hdr); err != nil {
+		return nil, fmt.Errorf("sweep: parse manifest %s: %w", path, err)
+	}
+	if hdr.Schema != ManifestSchema {
+		return nil, &SchemaError{Path: path, Got: hdr.Schema, Want: ManifestSchema}
+	}
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("sweep: parse manifest %s: %w", path, err)
-	}
-	if m.Schema != ManifestSchema {
-		return nil, fmt.Errorf("sweep: manifest %s schema %q, want %q", path, m.Schema, ManifestSchema)
 	}
 	return &m, nil
 }
