@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const atomiccheckName = "atomiccheck"
+
+// atomiccheck enforces, module-wide, that a field is either atomic or it is
+// not:
+//
+//   - any struct field whose address is passed to a sync/atomic function
+//     (atomic.AddInt64(&s.n, 1), ...) must never be read or written with a
+//     plain load/store anywhere in the module — one racy access makes the
+//     atomic ones pointless;
+//   - fields of the typed atomic kinds (atomic.Int64, atomic.Bool, ...)
+//     must only be used through their methods or by address: copying the
+//     value out smuggles a plain load past the type system.
+//
+// A //lint:atomiccheck escape with a justification suppresses a finding.
+func atomiccheck(p *pass) {
+	// Pass 1: find every field object whose address reaches sync/atomic.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range p.mod.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicPkgCall(p.mod.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if obj := fieldObj(p.mod.Info, sel); obj != nil {
+						atomicFields[obj] = true
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: every other access to those fields, and every by-value use of
+	// a typed-atomic field, is a diagnostic.
+	for _, pkg := range p.mod.Pkgs {
+		for _, f := range pkg.Files {
+			anns := p.annotationsFor(f, "atomiccheck")
+			// parents[child] is the innermost enclosing node.
+			parents := map[ast.Node]ast.Node{}
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if len(stack) > 0 {
+					parents[n] = stack[len(stack)-1]
+				}
+				stack = append(stack, n)
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := fieldObj(p.mod.Info, sel)
+				if obj == nil {
+					return true
+				}
+				if atomicFields[obj] && !sanctioned[sel] {
+					if !suppressed(anns, p.mod.Position(sel.Pos()).Line) {
+						p.reportf(atomiccheckName, sel.Pos(),
+							"plain access to %s, which is elsewhere accessed via sync/atomic — use the atomic API for every load and store",
+							fieldDisplay(p.mod.Info, sel))
+					}
+					return true
+				}
+				if isTypedAtomic(obj.Type()) && copiesAtomicValue(parents, sel) {
+					if !suppressed(anns, p.mod.Position(sel.Pos()).Line) {
+						p.reportf(atomiccheckName, sel.Pos(),
+							"%s has atomic type %s but is used by value here — call its methods (or take its address) instead of copying it",
+							fieldDisplay(p.mod.Info, sel), obj.Type().String())
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldDisplay names a selected field as Owner.field for diagnostics.
+func fieldDisplay(info *types.Info, sel *ast.SelectorExpr) string {
+	if s, ok := info.Selections[sel]; ok {
+		t := s.Recv()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + sel.Sel.Name
+		}
+	}
+	return sel.Sel.Name
+}
+
+// isAtomicPkgCall matches atomic.Fn(...) calls of package sync/atomic.
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldObj resolves a selector to the struct field it names, or nil.
+func fieldObj(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	obj, _ := s.Obj().(*types.Var)
+	return obj
+}
+
+// isTypedAtomic reports the sync/atomic value types (Int64, Bool, ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// copiesAtomicValue reports whether the selector is used as a plain value:
+// anything but a method access (x.done.Load()) or an address-of (&x.done).
+func copiesAtomicValue(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	switch parent := parents[sel].(type) {
+	case *ast.SelectorExpr:
+		if parent.X == sel {
+			return false // receiver of a method (or field) access
+		}
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND && parent.X == sel {
+			return false
+		}
+	}
+	return true
+}

@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 const determinismName = "determinism"
@@ -44,7 +43,7 @@ func determinism(p *pass) {
 			continue
 		}
 		for _, f := range pkg.Files {
-			ordered := orderedAnnotations(p.mod.Fset, f)
+			ordered := p.annotationsFor(f, "ordered")
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.GoStmt:
@@ -86,24 +85,9 @@ func (p *pass) checkBannedSelector(sel *ast.SelectorExpr) {
 	}
 }
 
-// orderedAnnotations returns the set of lines carrying a //lint:ordered
-// comment.  A range statement is annotated when the comment sits on its own
-// line or the line directly above.
-func orderedAnnotations(fset *token.FileSet, f *ast.File) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, "lint:ordered") {
-				lines[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	return lines
-}
-
 // checkMapRange flags `range` over a map whose loop body has effects that
 // depend on iteration order (Go randomises map order per run).
-func (p *pass) checkMapRange(rs *ast.RangeStmt, ordered map[int]bool) {
+func (p *pass) checkMapRange(rs *ast.RangeStmt, ordered []*annotation) {
 	tv, ok := p.mod.Info.Types[rs.X]
 	if !ok {
 		return
@@ -112,7 +96,7 @@ func (p *pass) checkMapRange(rs *ast.RangeStmt, ordered map[int]bool) {
 		return
 	}
 	line := p.mod.Fset.Position(rs.Pos()).Line
-	if ordered[line] || ordered[line-1] {
+	if suppressed(ordered, line) {
 		return
 	}
 	chk := &mapRangeChecker{pass: p, rs: rs, locals: map[types.Object]bool{}}

@@ -21,6 +21,7 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"slices"
 	"sort"
@@ -70,6 +71,18 @@ type Config struct {
 	// EnumTypes lists "relpkg.TypeName" enum sets whose switches must be
 	// exhaustive (or carry an explicit default).
 	EnumTypes []string
+
+	// LockPkgs lists the service-layer packages audited by lockcheck
+	// (guarded-field discipline, lock copies, lock-order cycles).
+	LockPkgs []string
+
+	// CtxPkgs lists the packages whose blocking for-loops must observe
+	// cancellation (ctxcheck), so a drain can never hang.
+	CtxPkgs []string
+
+	// SchemaDir is the module-relative directory holding the wire-schema
+	// goldens that schemadrift checks (and -write-schemas regenerates).
+	SchemaDir string
 }
 
 // DefaultConfig anchors the analyzers to this repository's layout.
@@ -112,6 +125,15 @@ func DefaultConfig() Config {
 			"internal/obs.Phase",
 			"internal/serve.JobState",
 		},
+		// The concurrent service layer: mutex discipline and cancellation
+		// are audited everywhere a lease, drain or heartbeat loop lives.
+		LockPkgs: []string{
+			"internal/serve", "internal/sweep", "internal/obs", "internal/obs/status",
+		},
+		CtxPkgs: []string{
+			"internal/serve", "internal/sweep", "internal/obs", "internal/obs/status",
+		},
+		SchemaDir: "internal/lint/schemas",
 	}
 }
 
@@ -129,6 +151,11 @@ type pass struct {
 	cfg     *Config
 	diags   []Diag
 	missing []string
+
+	// //lint: annotation state (see annotations.go): parsed escapes per
+	// file, and which annotation names each file was consulted for.
+	annFiles     map[*ast.File][]*annotation
+	annConsulted map[*ast.File]map[string]bool
 }
 
 func (p *pass) reportf(analyzer string, pos token.Pos, format string, args ...any) {
@@ -151,6 +178,11 @@ func Run(m *Module, cfg Config) *Result {
 	confighash(p)
 	statscoverage(p)
 	exhaustive(p)
+	lockcheck(p)
+	atomiccheck(p)
+	ctxcheck(p)
+	schemadrift(p)
+	annotationAudit(p) // last: analyzers mark the escapes they consumed
 	sort.Slice(p.diags, func(i, j int) bool {
 		a, b := p.diags[i], p.diags[j]
 		if a.File != b.File {

@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"path"
+	"sort"
+)
+
+// SummaryRow is one cell of the -fix-report triage table: how many
+// diagnostics one analyzer raised in one package.
+type SummaryRow struct {
+	Analyzer string
+	Package  string
+	Count    int
+}
+
+// Summarize groups diagnostics by (analyzer, package directory), sorted by
+// analyzer then package, for the one-screen triage table.
+func Summarize(diags []Diag) []SummaryRow {
+	counts := map[SummaryRow]int{}
+	for _, d := range diags {
+		pkg := path.Dir(d.File)
+		if pkg == "." || pkg == "" {
+			pkg = "(root)"
+		}
+		counts[SummaryRow{Analyzer: d.Analyzer, Package: pkg}]++
+	}
+	rows := make([]SummaryRow, 0, len(counts))
+	for k, n := range counts {
+		k.Count = n
+		rows = append(rows, k)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Analyzer != rows[j].Analyzer {
+			return rows[i].Analyzer < rows[j].Analyzer
+		}
+		return rows[i].Package < rows[j].Package
+	})
+	return rows
+}

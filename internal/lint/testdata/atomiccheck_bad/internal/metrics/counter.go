@@ -1,0 +1,27 @@
+// Package metrics mixes atomic and plain access: the atomiccheck
+// fixture.  The analyzer is module-wide, so this package deliberately
+// sits outside the lockcheck/ctxcheck package lists.
+package metrics
+
+import "sync/atomic"
+
+// Counter tracks request totals.
+type Counter struct {
+	hits int64
+	done atomic.Bool
+}
+
+// Inc publishes through the atomic API.
+func (c *Counter) Inc() { atomic.AddInt64(&c.hits, 1) }
+
+// Read loads hits without the atomic API: finding.
+func (c *Counter) Read() int64 { return c.hits }
+
+// Reset stores plainly against an atomically-written field: finding.
+func (c *Counter) Reset() { c.hits = 0 }
+
+// Snapshot copies the typed atomic by value: finding.
+func (c *Counter) Snapshot() atomic.Bool { return c.done }
+
+// Finished uses the typed API: clean.
+func (c *Counter) Finished() bool { return c.done.Load() }

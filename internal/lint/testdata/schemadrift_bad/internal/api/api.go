@@ -1,0 +1,13 @@
+// Package api grew a wire field without regenerating its golden or
+// bumping the schema constant: the failing schemadrift fixture.
+package api
+
+// JobSchema versions the Job wire format.
+const JobSchema = "demo-job/v1"
+
+// Job is the wire form of one queued job.  Tries is the new field the
+// committed golden does not know about.
+type Job struct {
+	ID    string `json:"id"`
+	Tries int    `json:"tries"`
+}

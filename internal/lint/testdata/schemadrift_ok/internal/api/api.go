@@ -1,0 +1,12 @@
+// Package api declares the demo wire schema whose golden is current:
+// the passing schemadrift fixture.
+package api
+
+// JobSchema versions the Job wire format.
+const JobSchema = "demo-job/v1"
+
+// Job is the wire form of one queued job.
+type Job struct {
+	ID    string `json:"id"`
+	Tries int    `json:"tries"`
+}

@@ -163,7 +163,7 @@ func NewRegistry() *Registry {
 	return &Registry{names: map[string]bool{}}
 }
 
-func (r *Registry) register(name string) {
+func (r *Registry) registerLocked(name string) {
 	if !validMetricName(name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", name))
 	}
@@ -178,7 +178,7 @@ func (r *Registry) register(name string) {
 func (r *Registry) Counter(name, help string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.register(name)
+	r.registerLocked(name)
 	c := &Counter{name: name, help: help}
 	r.counters = append(r.counters, c)
 	return c
@@ -188,7 +188,7 @@ func (r *Registry) Counter(name, help string) *Counter {
 func (r *Registry) Gauge(name, help string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.register(name)
+	r.registerLocked(name)
 	g := &Gauge{name: name, help: help}
 	r.gauges = append(r.gauges, g)
 	return g
@@ -207,7 +207,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.register(name)
+	r.registerLocked(name)
 	h := &Histogram{name: name, help: help, bounds: append([]float64(nil), bounds...)}
 	h.counts = make([]atomic.Int64, len(bounds)+1)
 	r.hists = append(r.hists, h)

@@ -128,9 +128,9 @@ func (o *ServeObs) emit(e Event, now time.Time) {
 	}
 }
 
-// peer returns (creating if needed) the live state for a worker name.
-// Callers hold o.mu.
-func (o *ServeObs) peer(name string) *peerState {
+// peerLocked returns (creating if needed) the live state for a worker
+// name.  Callers hold o.mu.
+func (o *ServeObs) peerLocked(name string) *peerState {
 	p, ok := o.peers[name]
 	if !ok {
 		p = &peerState{lane: o.laneBase + len(o.order)}
@@ -208,7 +208,7 @@ func (o *ServeObs) JobDequeued() {
 func (o *ServeObs) Lease(peer, hash, name, lease string, attempt int, enqueuedNS int64, now time.Time) {
 	ns := o.rel(now)
 	o.mu.Lock()
-	p := o.peer(peer)
+	p := o.peerLocked(peer)
 	p.leased++
 	p.lastSeenNS = ns
 	fs := &fleetSpan{peer: peer, name: name, hash: hash, lastNS: enqueuedNS}
@@ -226,7 +226,7 @@ func (o *ServeObs) Lease(peer, hash, name, lease string, attempt int, enqueuedNS
 // Heartbeat records a lease heartbeat.
 func (o *ServeObs) Heartbeat(peer string, now time.Time) {
 	o.mu.Lock()
-	o.peer(peer).lastSeenNS = o.rel(now)
+	o.peerLocked(peer).lastSeenNS = o.rel(now)
 	o.mu.Unlock()
 	o.mHeartbeats.Inc()
 }
@@ -296,7 +296,7 @@ func (o *ServeObs) JobDone(peer, hash, name, lease, status string, cacheHit, upl
 	ok := status == "ok"
 
 	o.mu.Lock()
-	p := o.peer(peer)
+	p := o.peerLocked(peer)
 	if lease != "" && p.leased > 0 {
 		p.leased--
 	}

@@ -233,6 +233,7 @@ func (s *Server) Drain(reason string, timeout time.Duration) int {
 		}
 
 		// Outstanding fleet leases: wait for uploads, then force-expire.
+		//lint:ctxcheck — bounded by the drain deadline in the loop condition, so it cannot outlive the drain window
 		for s.q.FleetLeases() > 0 && time.Now().Before(deadline) {
 			time.Sleep(20 * time.Millisecond)
 		}

@@ -86,6 +86,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	wg.Wait()
 	close(errs)
+	//lint:ctxcheck — errs holds one buffered slot per goroutine and was closed above, so the drain cannot block
 	for err := range errs {
 		if err != nil {
 			return err
@@ -173,6 +174,7 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 	// Upload with bounded retries on a background context: a finished
 	// result survives worker shutdown (graceful drain ships it).
 	var resp CompleteResponse
+	//lint:ctxcheck — bounded to 3 attempts; deliberately ignores ctx so a finished result survives graceful shutdown
 	for attempt := 0; attempt < 3; attempt++ {
 		code, err := w.post(context.Background(), "/v1/fleet/complete", &req, &resp)
 		if err == nil && code/100 == 2 {

@@ -319,7 +319,9 @@ func TestReporterRollingETA(t *testing.T) {
 	for i := 0; i < 35; i++ {
 		r.jobDone(JobResult{Spec: JobSpec{Workload: "vecsum"}, Status: StatusOK, Elapsed: 10_000}, 1)
 	}
-	d, ok := r.eta()
+	r.mu.Lock()
+	d, ok := r.etaLocked()
+	r.mu.Unlock()
 	if !ok {
 		t.Fatal("eta unavailable")
 	}

@@ -84,7 +84,7 @@ func (r *Reporter) jobDone(res JobResult, copies int) {
 	}
 	line := fmt.Sprintf("sweep: %*d/%d %s %-28s %8s", digits(r.total), r.done, r.total,
 		status, res.Spec.Name(), fmtMS(res.Elapsed))
-	if eta, ok := r.eta(); ok {
+	if eta, ok := r.etaLocked(); ok {
 		line += "  eta " + eta.Round(time.Second).String()
 	}
 	line += fmt.Sprintf("  (hits %d%%, failures %d)", 100*r.hits/max(r.done, 1), r.fails)
@@ -94,12 +94,13 @@ func (r *Reporter) jobDone(res JobResult, copies int) {
 	fmt.Fprintln(r.w, line)
 }
 
-// eta extrapolates from the rolling completion-rate window when it has
+// etaLocked (callers hold r.mu) extrapolates from the rolling
+// completion-rate window when it has
 // enough samples — the window sees pool-wide completions, so remaining/rate
 // already accounts for parallelism.  Before the window fills (or when every
 // job so far was a cache hit) it falls back to the cumulative mean of
 // computed jobs divided across the pool.
-func (r *Reporter) eta() (time.Duration, bool) {
+func (r *Reporter) etaLocked() (time.Duration, bool) {
 	remaining := r.total - r.done
 	if remaining <= 0 || r.computed == 0 {
 		return 0, remaining > 0
