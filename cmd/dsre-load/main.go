@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -65,6 +66,12 @@ func (c *client) submit(tenant string, grid *sweep.Grid) (*serve.SweepView, erro
 	defer resp.Body.Close()
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if resp.StatusCode != http.StatusCreated {
+		// Prefer the structured dsre-serve-error/v1 envelope: the code is
+		// stable and the trace ID lets an operator grep the daemon's logs.
+		var env serve.ErrorResponse
+		if jerr := json.Unmarshal(data, &env); jerr == nil && env.Schema == serve.ErrorSchema && env.Code != "" {
+			return nil, fmt.Errorf("submit: HTTP %d %s: %s (trace %s)", resp.StatusCode, env.Code, env.Message, env.Trace)
+		}
 		return nil, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
 	}
 	var v serve.SweepView
@@ -139,6 +146,7 @@ func main() {
 		elapsed time.Duration
 	}
 	var stats []roundStat
+	var latencies []time.Duration // per-sweep submit-to-done wall time
 	failures := 0
 	fail := func(format string, args ...any) {
 		failures++
@@ -148,18 +156,23 @@ func main() {
 	for round := 1; round <= *rounds; round++ {
 		roundStart := time.Now()
 		ids := make([]string, *clients)
+		submitted := make([]time.Time, *clients)
 		errsCh := make(chan error, *clients)
 		var wg sync.WaitGroup
 		for i := 0; i < *clients; i++ {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				submitted[i] = time.Now()
 				v, err := c.submit(fmt.Sprintf("%s-%d", *tenant, i), &grid)
 				if err != nil {
 					errsCh <- err
 					return
 				}
 				ids[i] = v.Sweep
+				if v.Trace == "" {
+					errsCh <- fmt.Errorf("sweep %s: submit response carries no trace ID", v.Sweep)
+				}
 			}(i)
 		}
 		wg.Wait()
@@ -181,6 +194,7 @@ func main() {
 				}
 				if v.Finished {
 					views[i] = v
+					latencies = append(latencies, time.Since(submitted[i]))
 					break
 				}
 				time.Sleep(*poll)
@@ -252,10 +266,32 @@ func main() {
 	}
 	fmt.Printf("  fleet: %d unique executions, %d cache hits, %d uploads, %d requeues, %d lease expiries\n",
 		t.Executions, t.CacheHits, t.Uploads, t.Requeues, t.LeaseExpiries)
+	fmt.Printf("  latency (submit to done, %d sweeps): p50 %s  p95 %s  p99 %s\n",
+		len(latencies),
+		percentile(latencies, 50).Round(time.Millisecond),
+		percentile(latencies, 95).Round(time.Millisecond),
+		percentile(latencies, 99).Round(time.Millisecond))
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "dsre-load: %d invariant(s) failed\n", failures)
 		os.Exit(1)
 	}
 	fmt.Println("dsre-load: all invariants hold")
+}
+
+// percentile returns the nearest-rank p-th percentile of ds (0 when empty).
+func percentile(ds []time.Duration, p int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n), nearest-rank
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -55,8 +56,9 @@ func main() {
 	quotaRate := flag.Float64("quota-rate", 0, "per-tenant submitted-specs-per-second quota (0 = unlimited)")
 	quotaBurst := flag.Float64("quota-burst", 0, "per-tenant quota burst (0 = one second of rate)")
 	manifestDir := flag.String("manifest-dir", "", "write one sweep manifest per sweep here on drain (empty disables)")
-	eventsPath := flag.String("events", "", "write a dsre-events/v1 JSONL lifecycle log (empty disables)")
+	eventsPath := flag.String("events", "", "write a dsre-events/v2 JSONL lifecycle log (empty disables)")
 	spanTrace := flag.String("span-trace", "", "write lifecycle spans as a Chrome trace on exit (empty disables)")
+	slowRequest := flag.Duration("slow-request", 0, "emit a slow_request event for HTTP requests slower than this (0 disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight work")
 
 	// Execution flags shared by both modes.
@@ -84,6 +86,7 @@ func main() {
 		leaseTTL: *leaseTTL, maxAttempts: *maxAttempts,
 		quotaRate: *quotaRate, quotaBurst: *quotaBurst,
 		manifestDir: *manifestDir, eventsPath: *eventsPath, spanTrace: *spanTrace,
+		slowRequest:  *slowRequest,
 		drainTimeout: *drainTimeout, timeout: *timeout, retries: *retries,
 	})
 }
@@ -97,6 +100,7 @@ type daemonConfig struct {
 	quotaRate, quotaBurst float64
 	manifestDir           string
 	eventsPath, spanTrace string
+	slowRequest           time.Duration
 	drainTimeout, timeout time.Duration
 	retries               int
 }
@@ -121,10 +125,10 @@ func runDaemon(c daemonConfig) {
 		jsonl = obs.NewJSONLSink(f)
 		sink = jsonl
 	}
-	var spans *obs.SpanLog
-	if c.spanTrace != "" {
-		spans = obs.NewSpanLog()
-	}
+	// The span log is always on in daemon mode: it feeds the stitched
+	// GET /v1/sweeps/{id}/trace endpoint.  -span-trace only controls the
+	// exit-time Chrome-trace file export.
+	spans := obs.NewSpanLog()
 
 	// One registry, one event stream, one span log for both layers: the
 	// engine's job lifecycle and the daemon's queue/lease/upload protocol.
@@ -145,6 +149,7 @@ func runDaemon(c daemonConfig) {
 		BatchMax: c.batch, BatchLinger: c.batchLinger,
 		QuotaRate: c.quotaRate, QuotaBurst: c.quotaBurst,
 		ManifestDir: c.manifestDir,
+		Sink:        sink, SlowRequest: c.slowRequest,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -179,7 +184,7 @@ func runDaemon(c daemonConfig) {
 		fmt.Fprintf(os.Stderr, "dsre-serve: shutdown: %v\n", err)
 	}
 
-	if spans != nil {
+	if c.spanTrace != "" {
 		if f, ferr := os.Create(c.spanTrace); ferr == nil {
 			_ = spans.WriteChromeTrace(f)
 			_ = f.Close()
@@ -205,15 +210,28 @@ func runWorker(join, id string, jobs int, poll, timeout time.Duration, retries i
 		}
 		id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	engine := sweep.New(sweep.Options{Workers: jobs, Timeout: timeout, Retries: retries})
+	// The worker records its own span chains (queue-wait, prepare, run
+	// attempts, upload) and ships them to the daemon with each completed
+	// job for cross-process trace stitching.
+	wspans := obs.NewSpanLog()
+	wobs := obs.NewSweepObsInto(obs.NewRegistry(), time.Now(), nil, wspans)
+	engine := sweep.New(sweep.Options{Workers: jobs, Timeout: timeout, Retries: retries, Obs: wobs})
 	w, err := serve.NewWorker(serve.WorkerOptions{
-		BaseURL: join, ID: id, Engine: engine, Concurrency: jobs, Poll: poll,
+		BaseURL: join, ID: id, Engine: engine, Concurrency: jobs, Poll: poll, Spans: wspans,
 	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if hv, herr := w.DaemonHealth(ctx); herr == nil {
+		fmt.Fprintf(os.Stderr, "dsre-serve: daemon at %s runs sim %s (%s)\n", join, hv.SimVersion, hv.GoVersion)
+		if hv.SimVersion != "" && hv.SimVersion != sim.Version {
+			fmt.Fprintf(os.Stderr, "dsre-serve: WARNING: version skew — worker runs sim %s; uploads will be rejected\n", sim.Version)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "dsre-serve: healthz probe failed (%v); joining anyway\n", herr)
+	}
 	fmt.Fprintf(os.Stderr, "dsre-serve: worker %s joined %s (%d jobs)\n", id, join, jobs)
 	if err := w.Run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "dsre-serve: worker %s: %v\n", id, err)

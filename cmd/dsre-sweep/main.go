@@ -30,7 +30,7 @@
 //
 // Fleet observability is opt-in: -status :9090 serves /metrics (Prometheus
 // text), /healthz, /progress (live JSON) and /debug/pprof; -events
-// sweep.events writes a dsre-events/v1 JSONL lifecycle log; -span-trace
+// sweep.events writes a dsre-events/v2 JSONL lifecycle log; -span-trace
 // sweep-trace.json exports per-job lifecycle spans as a Chrome trace with
 // one lane per worker (open in chrome://tracing or Perfetto).
 package main
@@ -115,7 +115,7 @@ func main() {
 	reports := flag.String("reports", "", "directory for per-point dsre-report/v1 artifacts (empty disables)")
 	quiet := flag.Bool("q", false, "suppress per-job progress on stderr")
 	statusAddr := flag.String("status", "", "serve /metrics, /healthz, /progress and /debug/pprof on this address (empty disables)")
-	eventsPath := flag.String("events", "", "write a dsre-events/v1 JSONL lifecycle log to this path (empty disables)")
+	eventsPath := flag.String("events", "", "write a dsre-events/v2 JSONL lifecycle log to this path (empty disables)")
 	spanTrace := flag.String("span-trace", "", "write per-job lifecycle spans as a Chrome trace to this path (empty disables)")
 	linger := flag.Duration("linger", 0, "keep the -status server up this long after the sweep (lets scrapers collect the final state)")
 	flag.Parse()

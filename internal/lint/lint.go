@@ -97,6 +97,9 @@ func DefaultConfig() Config {
 			// goroutines (the HTTP server lives in internal/obs/status,
 			// outside this set precisely because servers need both).
 			"internal/obs",
+			// Trace/span IDs are minted from a hashed seed + counter, never
+			// a clock or entropy source, so trace output replays bit-exactly.
+			"internal/obs/tracing",
 		},
 		SimPkg:          "internal/sim",
 		ConfigType:      "Config",
@@ -129,9 +132,11 @@ func DefaultConfig() Config {
 		// are audited everywhere a lease, drain or heartbeat loop lives.
 		LockPkgs: []string{
 			"internal/serve", "internal/sweep", "internal/obs", "internal/obs/status",
+			"internal/obs/tracing",
 		},
 		CtxPkgs: []string{
 			"internal/serve", "internal/sweep", "internal/obs", "internal/obs/status",
+			"internal/obs/tracing",
 		},
 		SchemaDir: "internal/lint/schemas",
 	}

@@ -11,7 +11,7 @@ import (
 // EventsSchema identifies the structured event-log wire format: one JSON
 // object per line, every line stamped with this schema so concatenated or
 // truncated logs stay self-describing.
-const EventsSchema = "dsre-events/v1"
+const EventsSchema = "dsre-events/v2"
 
 // EventKind classifies one job-lifecycle event.
 type EventKind uint8
@@ -56,6 +56,13 @@ const (
 	// EventServeDrain records a daemon draining on SIGTERM: in-flight jobs
 	// finish, manifests flush, queued jobs are abandoned.
 	EventServeDrain
+	// EventHTTPRequest is one structured request-log line from the daemon's
+	// instrumented HTTP surface: route, status code, latency and the
+	// request's trace ID.
+	EventHTTPRequest
+	// EventSlowRequest flags a request whose latency crossed the daemon's
+	// -slow-request threshold (emitted in addition to its http_request).
+	EventSlowRequest
 )
 
 // String returns the wire spelling of the kind.
@@ -93,6 +100,10 @@ func (k EventKind) String() string {
 		return "upload"
 	case EventServeDrain:
 		return "serve_drain"
+	case EventHTTPRequest:
+		return "http_request"
+	case EventSlowRequest:
+		return "slow_request"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -106,6 +117,7 @@ func EventKinds() []EventKind {
 		EventPanic, EventStoreWrite, EventDrain, EventSweepDone,
 		EventStoreCorrupt, EventSubmit, EventLease, EventLeaseExpired,
 		EventRequeue, EventUpload, EventServeDrain,
+		EventHTTPRequest, EventSlowRequest,
 	}
 }
 
@@ -139,7 +151,7 @@ func (k *EventKind) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// Event is one dsre-events/v1 record.  Seq is assigned by the sink and is
+// Event is one dsre-events/v2 record.  Seq is assigned by the sink and is
 // strictly monotonic within one log; TimeMS is the emitting caller's
 // wall clock (unix milliseconds) — the sink never reads a clock itself, so
 // this package stays deterministic.
@@ -168,6 +180,16 @@ type Event struct {
 	Sweep  string `json:"sweep,omitempty"`
 	Peer   string `json:"peer,omitempty"`
 	Lease  string `json:"lease,omitempty"`
+
+	// Distributed-trace identity (http_request / slow_request and every
+	// lease-protocol event): the request's 32-hex trace ID, its 16-hex span
+	// ID, the instrumented route pattern, the response status code and the
+	// request latency in microseconds.
+	Trace      string `json:"trace,omitempty"`
+	Span       string `json:"span,omitempty"`
+	Route      string `json:"route,omitempty"`
+	Code       int    `json:"code,omitempty"`
+	DurationUS int64  `json:"duration_us,omitempty"`
 
 	// Sweep-level totals (sweep_start carries Total/Unique/Workers,
 	// sweep_done the final fold).
@@ -228,7 +250,7 @@ func (s *JSONLSink) Err() error {
 	return s.err
 }
 
-// ReadEvents parses a dsre-events/v1 JSONL stream, enforcing the schema
+// ReadEvents parses a dsre-events/v2 JSONL stream, enforcing the schema
 // stamp on every line, known kinds, and strictly increasing sequence
 // numbers.  Blank lines are skipped.
 func ReadEvents(r io.Reader) ([]Event, error) {

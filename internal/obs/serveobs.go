@@ -69,11 +69,13 @@ type serveSweepState struct {
 
 // fleetSpan accumulates one fleet job's daemon-side phase chain.
 type fleetSpan struct {
-	peer       string
-	name, hash string
-	leasedNS   int64
-	lastNS     int64
-	phases     []PhaseSpan
+	peer        string
+	name, hash  string
+	trace, span string // propagated trace-context IDs (hex)
+	attempt     int
+	leasedNS    int64
+	lastNS      int64
+	phases      []PhaseSpan
 }
 
 // NewServeObs builds a daemon observer registering into reg, anchored at
@@ -117,6 +119,10 @@ func NewServeObs(reg *Registry, start time.Time, sink EventSink, spans *SpanLog,
 
 func (o *ServeObs) rel(t time.Time) int64 { return t.Sub(o.start).Nanoseconds() }
 
+// Spans exposes the daemon's span log (the /v1/sweeps/{id}/trace endpoint
+// stitches from it); nil when span collection is off.
+func (o *ServeObs) Spans() *SpanLog { return o.spans }
+
 // Rel converts a caller clock reading into the observer's relative
 // nanosecond timeline (the queue stamps enqueue times with it).
 func (o *ServeObs) Rel(t time.Time) int64 { return o.rel(t) }
@@ -142,9 +148,9 @@ func (o *ServeObs) peerLocked(name string) *peerState {
 }
 
 // SweepSubmitted records one accepted grid: total specs, unique new jobs,
-// and how many specs were satisfied immediately (store hits + in-submit
-// dedup copies).
-func (o *ServeObs) SweepSubmitted(id, tenant string, total, unique, cached int, now time.Time) {
+// how many specs were satisfied immediately (store hits + in-submit dedup
+// copies), and the sweep's hex trace ID.
+func (o *ServeObs) SweepSubmitted(id, tenant, trace string, total, unique, cached int, now time.Time) {
 	o.mu.Lock()
 	o.sweeps = append(o.sweeps, &serveSweepState{
 		id: id, tenant: tenant, total: total, unique: unique,
@@ -157,7 +163,7 @@ func (o *ServeObs) SweepSubmitted(id, tenant string, total, unique, cached int, 
 		o.mCacheHits.Add(int64(cached))
 	}
 	o.gSweeps.Add(1)
-	o.emit(Event{Kind: EventSubmit, Sweep: id, Tenant: tenant, Total: total, Unique: unique, CacheHits: cached}, now)
+	o.emit(Event{Kind: EventSubmit, Sweep: id, Tenant: tenant, Trace: trace, Total: total, Unique: unique, CacheHits: cached}, now)
 }
 
 // SweepProgress advances one sweep's live counters by done/cached/failed
@@ -204,14 +210,16 @@ func (o *ServeObs) JobDequeued() {
 }
 
 // Lease records a worker leasing one job.  enqueuedNS is the queue's
-// relative enqueue stamp (from Rel) anchoring the queue-wait span.
-func (o *ServeObs) Lease(peer, hash, name, lease string, attempt int, enqueuedNS int64, now time.Time) {
+// relative enqueue stamp (from Rel) anchoring the queue-wait span; trace
+// and span are the lease attempt's propagated trace-context IDs (hex,
+// empty when tracing is off).
+func (o *ServeObs) Lease(peer, hash, name, lease, trace, span string, attempt int, enqueuedNS int64, now time.Time) {
 	ns := o.rel(now)
 	o.mu.Lock()
 	p := o.peerLocked(peer)
 	p.leased++
 	p.lastSeenNS = ns
-	fs := &fleetSpan{peer: peer, name: name, hash: hash, lastNS: enqueuedNS}
+	fs := &fleetSpan{peer: peer, name: name, hash: hash, trace: trace, span: span, attempt: attempt, lastNS: enqueuedNS}
 	fs.mark(PhaseQueueWait, ns)
 	fs.leasedNS = ns
 	o.leases[lease] = fs
@@ -220,7 +228,7 @@ func (o *ServeObs) Lease(peer, hash, name, lease string, attempt int, enqueuedNS
 	o.gQueue.Add(-1)
 	o.gLeased.Add(1)
 	o.hQueueWait.Observe(float64(ns-enqueuedNS) / float64(time.Second))
-	o.emit(Event{Kind: EventLease, Job: hash, Name: name, Peer: peer, Lease: lease, Attempt: attempt}, now)
+	o.emit(Event{Kind: EventLease, Job: hash, Name: name, Peer: peer, Lease: lease, Trace: trace, Span: span, Attempt: attempt}, now)
 }
 
 // Heartbeat records a lease heartbeat.
@@ -232,17 +240,34 @@ func (o *ServeObs) Heartbeat(peer string, now time.Time) {
 }
 
 // LeaseExpired closes a lease whose heartbeats stopped.  The queue follows
-// up with JobRequeued or JobDone(failed, no lease).
+// up with JobRequeued or JobDone(failed, no lease).  The abandoned
+// attempt's daemon-side chain is recorded in the span log with status
+// "abandoned", so a stitched trace shows the lost attempt next to the
+// retry that succeeded.
 func (o *ServeObs) LeaseExpired(peer, hash, name, lease string, now time.Time) {
+	ns := o.rel(now)
+	var trace string
 	o.mu.Lock()
-	if p, ok := o.peers[peer]; ok && p.leased > 0 {
+	p, ok := o.peers[peer]
+	if ok && p.leased > 0 {
 		p.leased--
+	}
+	if fs := o.leases[lease]; fs != nil {
+		trace = fs.trace
+		fs.mark(PhaseRemoteRun, ns)
+		if o.spans != nil && ok {
+			o.spans.Add(JobSpans{
+				Name: fs.name, Hash: fs.hash, Grid: "serve", Worker: p.lane,
+				Status: "abandoned", Trace: fs.trace, Span: fs.span,
+				Origin: "daemon", Peer: fs.peer, Attempt: fs.attempt, Phases: fs.phases,
+			})
+		}
 	}
 	delete(o.leases, lease)
 	o.mu.Unlock()
 	o.mExpiries.Inc()
 	o.gLeased.Add(-1)
-	o.emit(Event{Kind: EventLeaseExpired, Job: hash, Name: name, Peer: peer, Lease: lease}, now)
+	o.emit(Event{Kind: EventLeaseExpired, Job: hash, Name: name, Peer: peer, Lease: lease, Trace: trace}, now)
 }
 
 // JobRequeued records a job returned to the queue for another attempt.
@@ -271,10 +296,23 @@ func (o *ServeObs) JobRequeued(peer, hash, name, lease string, attempt int, now 
 // lease is the uploader's still-valid lease (closed here), or empty when
 // it already expired.
 func (o *ServeObs) UploadDuplicate(peer, hash, name, lease string, now time.Time) {
+	ns := o.rel(now)
 	o.mu.Lock()
 	if lease != "" {
-		if p, ok := o.peers[peer]; ok && p.leased > 0 {
+		p, ok := o.peers[peer]
+		if ok && p.leased > 0 {
 			p.leased--
+		}
+		if fs := o.leases[lease]; fs != nil {
+			fs.mark(PhaseRemoteRun, ns)
+			fs.mark(PhaseUpload, ns)
+			if o.spans != nil && ok {
+				o.spans.Add(JobSpans{
+					Name: fs.name, Hash: fs.hash, Grid: "serve", Worker: p.lane,
+					Status: "duplicate", Trace: fs.trace, Span: fs.span,
+					Origin: "daemon", Peer: fs.peer, Attempt: fs.attempt, Phases: fs.phases,
+				})
+			}
 		}
 		delete(o.leases, lease)
 	}
@@ -318,7 +356,8 @@ func (o *ServeObs) JobDone(peer, hash, name, lease, status string, cacheHit, upl
 		if o.spans != nil {
 			o.spans.Add(JobSpans{
 				Name: fs.name, Hash: fs.hash, Grid: "serve", Worker: p.lane,
-				Status: status, CacheHit: cacheHit, Phases: fs.phases,
+				Status: status, CacheHit: cacheHit, Trace: fs.trace, Span: fs.span,
+				Origin: "daemon", Peer: fs.peer, Attempt: fs.attempt, Phases: fs.phases,
 			})
 		}
 	}
@@ -339,6 +378,19 @@ func (o *ServeObs) JobDone(peer, hash, name, lease, status string, cacheHit, upl
 		o.mUploads.Inc()
 		o.emit(Event{Kind: EventUpload, Job: hash, Name: name, Peer: peer, Lease: lease,
 			Status: status, CacheHit: cacheHit, ElapsedMS: elapsedMS}, now)
+	}
+}
+
+// WorkerSpans ingests span chains a fleet worker shipped with its result
+// upload.  The server stamps Origin with the authenticated worker name
+// before calling; chains land in the same log the daemon-side chains use,
+// so one stitched trace covers both processes.
+func (o *ServeObs) WorkerSpans(chains []JobSpans) {
+	if o.spans == nil {
+		return
+	}
+	for _, c := range chains {
+		o.spans.Add(c)
 	}
 }
 

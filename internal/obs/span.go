@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -62,6 +63,23 @@ func (p Phase) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + p.String() + `"`), nil
 }
 
+// UnmarshalJSON parses the wire spelling back; span chains travel inside
+// fleet complete uploads, so unknown spellings are a decode error rather
+// than silent drift.
+func (p *Phase) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for q := PhaseQueueWait; q <= PhaseUpload; q++ {
+		if q.String() == s {
+			*p = q
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown phase %q", s)
+}
+
 // PhaseSpan is one recorded phase; offsets are nanoseconds relative to the
 // observer's start instant.
 type PhaseSpan struct {
@@ -70,7 +88,13 @@ type PhaseSpan struct {
 	EndNS   int64 `json:"end_ns"`
 }
 
-// JobSpans is the complete lifecycle of one unique job.
+// JobSpans is the complete lifecycle of one unique job.  The trace fields
+// are stamped by the fleet layer (internal/obs/tracing): Trace/Span carry
+// the propagated hex trace-context IDs, Origin names the process that
+// recorded the chain ("daemon" for queue-side chains, the worker ID for
+// shipped worker-side chains, empty for plain local sweeps), Peer names
+// the lease holder on daemon-side chains, and Attempt is the lease attempt
+// the chain belongs to.
 type JobSpans struct {
 	Name     string      `json:"name"`
 	Hash     string      `json:"hash,omitempty"`
@@ -78,6 +102,11 @@ type JobSpans struct {
 	Worker   int         `json:"worker"`
 	Status   string      `json:"status,omitempty"`
 	CacheHit bool        `json:"cache_hit,omitempty"`
+	Trace    string      `json:"trace,omitempty"`
+	Span     string      `json:"span,omitempty"`
+	Origin   string      `json:"origin,omitempty"`
+	Peer     string      `json:"peer,omitempty"`
+	Attempt  int         `json:"attempt,omitempty"`
 	Phases   []PhaseSpan `json:"phases"`
 }
 
@@ -106,6 +135,26 @@ func (l *SpanLog) Jobs() []JobSpans {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return append([]JobSpans(nil), l.jobs...)
+}
+
+// TakeByHash removes and returns every chain recorded for one job hash —
+// the fleet worker's span-shipping extraction.  Concurrent lease slots
+// always hold distinct hashes (the daemon leases a job to one worker at a
+// time), so the removal is race-free per job.
+func (l *SpanLog) TakeByHash(hash string) []JobSpans {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var taken []JobSpans
+	kept := l.jobs[:0]
+	for _, j := range l.jobs {
+		if j.Hash == hash {
+			taken = append(taken, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	l.jobs = kept
+	return taken
 }
 
 // WriteChromeTrace renders the log as catapult JSON on one process lane

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPhaseJSONRoundTrip pins the phase wire spellings both ways: span
+// chains ship inside fleet complete uploads, so every phase must decode
+// back to itself and unknown spellings must fail loudly.
+func TestPhaseJSONRoundTrip(t *testing.T) {
+	for p := PhaseQueueWait; p <= PhaseUpload; p++ {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", p, err)
+		}
+		var got Phase
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("%s: unmarshal %s: %v", p, b, err)
+		}
+		if got != p {
+			t.Errorf("round trip: %s became %s", p, got)
+		}
+	}
+	var p Phase
+	if err := json.Unmarshal([]byte(`"launch"`), &p); err == nil {
+		t.Error("unknown phase spelling decoded without error")
+	}
+	if err := json.Unmarshal([]byte(`3`), &p); err == nil {
+		t.Error("numeric phase decoded without error")
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Options configures the endpoints.
@@ -24,6 +26,21 @@ type Options struct {
 	// Progress returns the live-progress document for /progress (typically
 	// SweepObs.Progress bound to the wall clock); nil serves 404 there.
 	Progress func() obs.ProgressView
+	// Start is the process start time reported by /healthz (zero means the
+	// moment the handler was built).
+	Start time.Time
+}
+
+// healthView is the /healthz JSON document: liveness plus the version
+// identity operators use to spot skewed processes.  It mirrors the
+// dsre-serve-health/v1 shape served by the daemon.
+type healthView struct {
+	Schema      string `json:"schema"`
+	Status      string `json:"status"`
+	SimVersion  string `json:"sim_version"`
+	GoVersion   string `json:"go_version"`
+	StartTimeMS int64  `json:"start_time_ms"`
+	UptimeMS    int64  `json:"uptime_ms"`
 }
 
 // Server is a live status listener.
@@ -58,9 +75,20 @@ func (s *Server) Close() error { return s.srv.Close() }
 // socket).
 func Handler(opts Options) http.Handler {
 	mux := http.NewServeMux()
+	start := opts.Start
+	if start.IsZero() {
+		start = time.Now()
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(healthView{
+			Schema: "dsre-serve-health/v1", Status: "ok",
+			SimVersion: sim.Version, GoVersion: runtime.Version(),
+			StartTimeMS: start.UnixMilli(),
+			UptimeMS:    time.Since(start).Milliseconds(),
+		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if opts.Registry == nil {

@@ -40,7 +40,11 @@ func TestHandlerEndpoints(t *testing.T) {
 	srv := httptest.NewServer(Handler(testOptions()))
 	defer srv.Close()
 
-	if code, body := get(t, srv, "/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+	if code, body := get(t, srv, "/healthz"); code != http.StatusOK ||
+		!strings.Contains(body, `"status": "ok"`) ||
+		!strings.Contains(body, `"sim_version"`) ||
+		!strings.Contains(body, `"go_version"`) ||
+		!strings.Contains(body, `"start_time_ms"`) {
 		t.Errorf("/healthz = %d %q", code, body)
 	}
 	if code, body := get(t, srv, "/metrics"); code != http.StatusOK ||

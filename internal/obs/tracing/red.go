@@ -1,0 +1,106 @@
+package tracing
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RequestBounds are the fixed latency buckets (seconds) for the per-route
+// request histograms: 0.5ms up to 10s.
+var RequestBounds = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// RED instruments an HTTP surface with the classic Rate/Errors/Duration
+// trio plus trace-context handling: a per-route request counter split by
+// status class, a per-route fixed-bucket latency histogram, an in-flight
+// gauge, one structured http_request event per request carrying its trace
+// ID, and a slow_request event past a configurable threshold.  Requests
+// arriving without a valid traceparent header get a freshly minted
+// context; either way the context rides the request's context.Context so
+// handlers can stamp it onto responses and error envelopes.
+type RED struct {
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	inflight *obs.Gauge
+	slow     *obs.Counter
+	sink     obs.EventSink
+	minter   *Minter
+	now      func() time.Time
+	slowNS   int64
+}
+
+// NewRED registers the RED metric families in reg.  now is required (this
+// package never reads a clock itself); sink may be nil to disable request
+// logs; slowThreshold <= 0 disables slow_request events.
+func NewRED(reg *obs.Registry, sink obs.EventSink, minter *Minter, now func() time.Time, slowThreshold time.Duration) *RED {
+	if now == nil {
+		panic("tracing: RED needs an injected clock")
+	}
+	if minter == nil {
+		minter = NewMinter(0)
+	}
+	return &RED{
+		requests: reg.CounterVec("dsre_http_requests_total", "HTTP requests served, by route and status class.", "route", "class"),
+		latency:  reg.HistogramVec("dsre_http_request_seconds", "HTTP request latency, by route.", RequestBounds, "route"),
+		inflight: reg.Gauge("dsre_http_requests_in_flight", "HTTP requests currently being served."),
+		slow:     reg.Counter("dsre_http_slow_requests_total", "HTTP requests slower than the -slow-request threshold."),
+		sink:     sink,
+		minter:   minter,
+		now:      now,
+		slowNS:   slowThreshold.Nanoseconds(),
+	}
+}
+
+// statusWriter captures the response status code (200 when the handler
+// never calls WriteHeader).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Wrap instruments one route.  route is the pattern string the metrics
+// and request logs report (e.g. "POST /v1/sweeps") — passed explicitly so
+// the label set stays programmer-bounded.
+func (m *RED) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := m.now()
+		tc, ok := FromHeader(r.Header)
+		if !ok {
+			tc = Context{Trace: m.minter.NextTrace(), Span: m.minter.NextSpan()}
+		}
+		r = r.WithContext(WithContext(r.Context(), tc))
+
+		m.inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		m.inflight.Add(-1)
+
+		end := m.now()
+		elapsed := end.Sub(start)
+		m.requests.With(route, fmt.Sprintf("%dxx", sw.code/100)).Inc()
+		m.latency.With(route).Observe(elapsed.Seconds())
+		slow := m.slowNS > 0 && elapsed.Nanoseconds() > m.slowNS
+		if slow {
+			m.slow.Inc()
+		}
+		if m.sink != nil {
+			e := obs.Event{
+				Kind: obs.EventHTTPRequest, TimeMS: end.UnixMilli(),
+				Route: route, Code: sw.code, Trace: tc.Trace.String(), Span: tc.Span.String(),
+				DurationUS: elapsed.Microseconds(),
+			}
+			m.sink.Emit(e)
+			if slow {
+				e.Kind = obs.EventSlowRequest
+				m.sink.Emit(e)
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package tracing
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// memSink collects emitted events for assertions.
+type memSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *memSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+}
+
+func (s *memSink) byKind(k obs.EventKind) []obs.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []obs.Event
+	for _, e := range s.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// fakeClock is a deterministic injected clock advancing a fixed step per
+// reading, so request latency is exact.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// TestREDMiddleware pins the full RED contract: per-route counters by
+// status class, latency observations, request events carrying the trace
+// context, propagation of an incoming traceparent, and minting when absent.
+func TestREDMiddleware(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &memSink{}
+	clock := &fakeClock{now: time.UnixMilli(1_000_000), step: 10 * time.Millisecond}
+	red := NewRED(reg, sink, NewMinter(9), clock.Now, 0)
+
+	var gotCtx Context
+	var haveCtx bool
+	h := red.Wrap("GET /v1/thing", func(w http.ResponseWriter, r *http.Request) {
+		gotCtx, haveCtx = FromContext(r.Context())
+		w.WriteHeader(http.StatusOK)
+	})
+	notFound := red.Wrap("GET /v1/missing", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	})
+
+	// Request without a traceparent: a context is minted.
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/v1/thing", nil))
+	if !haveCtx || !gotCtx.Valid() {
+		t.Fatalf("handler saw no minted trace context (have=%v ctx=%+v)", haveCtx, gotCtx)
+	}
+	minted := gotCtx
+
+	// Request with a traceparent: the incoming context propagates as-is.
+	inbound := Context{Trace: NewMinter(77).NextTrace(), Span: NewMinter(77).NextSpan()}
+	req := httptest.NewRequest(http.MethodGet, "/v1/thing", nil)
+	inbound.SetHeader(req.Header)
+	h(httptest.NewRecorder(), req)
+	if gotCtx != inbound {
+		t.Fatalf("inbound traceparent not propagated: got %+v want %+v", gotCtx, inbound)
+	}
+
+	// A 404 route lands in a different status class.
+	notFound(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/missing", nil))
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`dsre_http_requests_total{route="GET /v1/thing",class="2xx"} 2`,
+		`dsre_http_requests_total{route="GET /v1/missing",class="4xx"} 1`,
+		`dsre_http_request_seconds_count{route="GET /v1/thing"} 2`,
+		`dsre_http_requests_in_flight 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics page missing %q\n%s", want, text)
+		}
+	}
+
+	logs := sink.byKind(obs.EventHTTPRequest)
+	if len(logs) != 3 {
+		t.Fatalf("http_request events = %d, want 3", len(logs))
+	}
+	if logs[0].Trace != minted.Trace.String() || logs[0].Span != minted.Span.String() {
+		t.Errorf("first request log trace/span = %s/%s, want the minted context", logs[0].Trace, logs[0].Span)
+	}
+	if logs[1].Trace != inbound.Trace.String() {
+		t.Errorf("second request log trace = %s, want the inbound %s", logs[1].Trace, inbound.Trace)
+	}
+	for _, e := range logs {
+		if e.Route == "" || e.Code == 0 || e.DurationUS <= 0 {
+			t.Errorf("request log incomplete: %+v", e)
+		}
+	}
+	// The injected clock steps 10ms per reading, so every request measures
+	// exactly one step.
+	if logs[0].DurationUS != 10_000 {
+		t.Errorf("request duration = %dµs, want 10000 (injected clock)", logs[0].DurationUS)
+	}
+}
+
+// TestREDSlowRequest pins the slow-request path: past the threshold a
+// request increments the slow counter and emits a dedicated event.
+func TestREDSlowRequest(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := &memSink{}
+	clock := &fakeClock{now: time.UnixMilli(0), step: 30 * time.Millisecond}
+	red := NewRED(reg, sink, nil, clock.Now, 20*time.Millisecond)
+
+	h := red.Wrap("GET /slow", func(w http.ResponseWriter, r *http.Request) {})
+	h(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/slow", nil))
+
+	slow := sink.byKind(obs.EventSlowRequest)
+	if len(slow) != 1 {
+		t.Fatalf("slow_request events = %d, want 1", len(slow))
+	}
+	if slow[0].Route != "GET /slow" || slow[0].DurationUS != 30_000 {
+		t.Errorf("slow event = %+v", slow[0])
+	}
+	var buf strings.Builder
+	_ = reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "dsre_http_slow_requests_total 1") {
+		t.Error("slow counter not incremented")
+	}
+}

@@ -1,0 +1,177 @@
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// OriginDaemon is the chain origin the daemon stamps on its own queue-side
+// span chains; every other non-empty origin is a fleet worker's ID.
+const OriginDaemon = "daemon"
+
+// WriteStitched renders every span chain belonging to one trace as a
+// multi-process Chrome trace: process 0 is the daemon (one thread lane per
+// lease holder), and each worker that shipped spans gets its own process
+// with one thread lane per engine slot.  Worker chains carry offsets on
+// the worker's local timeline; they are re-anchored onto the daemon
+// timeline at the lease grant of the daemon chain sharing their span ID,
+// so the stitched view reads as one coherent request tree.
+func WriteStitched(w io.Writer, trace string, jobs []obs.JobSpans) error {
+	var sel []obs.JobSpans
+	for _, j := range jobs {
+		if j.Trace == trace && len(j.Phases) > 0 {
+			sel = append(sel, j)
+		}
+	}
+
+	b := telemetry.NewTraceBuilder()
+	b.SetMeta("source", "dsre-serve")
+	b.SetMeta("trace", trace)
+	b.SetMeta("time_unit", "wall microseconds (daemon timeline)")
+
+	// Daemon chains anchor the timeline; index lease grants by span ID.
+	grantNS := map[string]int64{}
+	laneName := map[int]string{}
+	origins := map[string]bool{}
+	for _, j := range sel {
+		if isDaemonChain(j) {
+			if ns, ok := leaseGrantNS(j); ok {
+				grantNS[j.Span] = ns
+			}
+			if j.Peer != "" {
+				laneName[j.Worker] = j.Peer
+			}
+		} else {
+			origins[j.Origin] = true
+		}
+	}
+
+	b.Process(0, "daemon")
+	lanes := make([]int, 0, len(laneName))
+	for lane := range laneName { //lint:ordered — lanes are sorted immediately below
+		lanes = append(lanes, lane)
+	}
+	sort.Ints(lanes)
+	for _, lane := range lanes {
+		b.Thread(0, lane, "lease "+laneName[lane])
+	}
+
+	workerPID := map[string]int{}
+	names := make([]string, 0, len(origins))
+	for o := range origins { //lint:ordered — names are sorted immediately below
+		names = append(names, o)
+	}
+	sort.Strings(names)
+	for i, o := range names {
+		workerPID[o] = i + 1
+		b.Process(i+1, "worker "+o)
+	}
+
+	slotSeen := map[[2]int]bool{}
+	for _, j := range sel {
+		pid, shift := 0, int64(0)
+		if !isDaemonChain(j) {
+			pid = workerPID[j.Origin]
+			if anchor, ok := grantNS[j.Span]; ok {
+				shift = anchor - j.Phases[0].StartNS
+			}
+			if key := [2]int{pid, j.Worker}; !slotSeen[key] {
+				slotSeen[key] = true
+				b.Thread(pid, j.Worker, fmt.Sprintf("slot %d", j.Worker))
+			}
+		}
+		start := j.Phases[0].StartNS + shift
+		end := j.Phases[len(j.Phases)-1].EndNS + shift
+		b.Span(pid, j.Worker, j.Name, "job", start/1000, (end-start)/1000, map[string]any{
+			"hash": j.Hash, "status": j.Status, "cache_hit": j.CacheHit,
+			"trace": j.Trace, "span": j.Span, "origin": j.Origin, "attempt": j.Attempt,
+		})
+		for _, ph := range j.Phases {
+			b.Span(pid, j.Worker, ph.Phase.String(), "phase",
+				(ph.StartNS+shift)/1000, (ph.EndNS-ph.StartNS)/1000, nil)
+		}
+	}
+	return b.Write(w)
+}
+
+func isDaemonChain(j obs.JobSpans) bool {
+	return j.Origin == OriginDaemon || j.Origin == ""
+}
+
+// leaseGrantNS returns the daemon-side lease grant instant: the start of
+// the chain's remote-run phase.
+func leaseGrantNS(j obs.JobSpans) (int64, bool) {
+	for _, ph := range j.Phases {
+		if ph.Phase == obs.PhaseRemoteRun {
+			return ph.StartNS, true
+		}
+	}
+	return 0, false
+}
+
+// Mismatch is one telescoping-invariant violation found by Reconcile.
+type Mismatch struct {
+	Hash        string `json:"hash"`
+	Span        string `json:"span"`
+	LeaseHeldNS int64  `json:"lease_held_ns"` // -1 for an orphan worker chain
+	WorkerNS    int64  `json:"worker_ns"`
+	Detail      string `json:"detail"`
+}
+
+// Reconcile checks the fleet's telescoping invariant: for every daemon-side
+// lease chain that a worker shipped spans for, the worker's span total must
+// fit the daemon's observed lease-held wall time (lease grant to upload)
+// within tol — the heartbeat tolerance.  Abandoned chains (expired leases)
+// have no worker partner and are skipped; a worker chain whose span ID
+// matches no daemon chain is reported as an orphan.
+func Reconcile(jobs []obs.JobSpans, tol time.Duration) []Mismatch {
+	held := map[string]int64{}
+	for _, j := range jobs {
+		if !isDaemonChain(j) || j.Span == "" || j.Status == "abandoned" {
+			continue
+		}
+		if grant, ok := leaseGrantNS(j); ok {
+			held[j.Span] = j.Phases[len(j.Phases)-1].EndNS - grant
+		}
+	}
+
+	tolNS := tol.Nanoseconds()
+	var bad []Mismatch
+	for _, j := range jobs {
+		if isDaemonChain(j) || j.Span == "" || len(j.Phases) == 0 {
+			continue
+		}
+		workerNS := j.Phases[len(j.Phases)-1].EndNS - j.Phases[0].StartNS
+		heldNS, ok := held[j.Span]
+		if !ok {
+			bad = append(bad, Mismatch{
+				Hash: j.Hash, Span: j.Span, LeaseHeldNS: -1, WorkerNS: workerNS,
+				Detail: "worker chain matches no daemon lease chain",
+			})
+			continue
+		}
+		if d := workerNS - heldNS; d > tolNS {
+			bad = append(bad, Mismatch{
+				Hash: j.Hash, Span: j.Span, LeaseHeldNS: heldNS, WorkerNS: workerNS,
+				Detail: fmt.Sprintf("worker spans exceed lease-held wall time by %s", time.Duration(d)),
+			})
+		} else if d := heldNS - workerNS; d > tolNS {
+			bad = append(bad, Mismatch{
+				Hash: j.Hash, Span: j.Span, LeaseHeldNS: heldNS, WorkerNS: workerNS,
+				Detail: fmt.Sprintf("lease-held wall time exceeds worker spans by %s", time.Duration(d)),
+			})
+		}
+	}
+	sort.Slice(bad, func(a, b int) bool {
+		if bad[a].Hash != bad[b].Hash {
+			return bad[a].Hash < bad[b].Hash
+		}
+		return bad[a].Span < bad[b].Span
+	})
+	return bad
+}

@@ -1,0 +1,168 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+const (
+	ms = int64(time.Millisecond)
+	tr = "0123456789abcdef0123456789abcdef"
+	sp = "00000000000000a1"
+)
+
+// daemonChain builds a daemon-side lease chain: queue-wait, remote-run
+// (grant at grantMS), upload ending at endMS.
+func daemonChain(hash, span, peer string, attempt int, grantMS, endMS int64) obs.JobSpans {
+	return obs.JobSpans{
+		Name: "job-" + hash, Hash: hash, Worker: 0, Status: "ok",
+		Trace: tr, Span: span, Origin: OriginDaemon, Peer: peer, Attempt: attempt,
+		Phases: []obs.PhaseSpan{
+			{Phase: obs.PhaseQueueWait, StartNS: 0, EndNS: grantMS * ms},
+			{Phase: obs.PhaseRemoteRun, StartNS: grantMS * ms, EndNS: (endMS - 1) * ms},
+			{Phase: obs.PhaseUpload, StartNS: (endMS - 1) * ms, EndNS: endMS * ms},
+		},
+	}
+}
+
+// workerChain builds a worker-side chain on the worker's own timeline
+// (starting near zero), totalling totalMS of wall time.
+func workerChain(hash, span, origin string, attempt int, totalMS int64) obs.JobSpans {
+	return obs.JobSpans{
+		Name: "job-" + hash, Hash: hash, Worker: 0, Status: "ok",
+		Trace: tr, Span: span, Origin: origin, Attempt: attempt,
+		Phases: []obs.PhaseSpan{
+			{Phase: obs.PhasePrepare, StartNS: 0, EndNS: totalMS * ms / 2},
+			{Phase: obs.PhaseRun, StartNS: totalMS * ms / 2, EndNS: totalMS * ms},
+		},
+	}
+}
+
+// TestWriteStitched pins the multi-process shape: one daemon process, one
+// process per worker origin, worker chains re-anchored onto the daemon
+// timeline at the lease grant, and chains from other traces excluded.
+func TestWriteStitched(t *testing.T) {
+	jobs := []obs.JobSpans{
+		daemonChain("aaaa", sp, "w1", 1, 10, 110),
+		workerChain("aaaa", sp, "w1", 1, 90),
+		daemonChain("bbbb", "00000000000000b2", "w2", 1, 20, 220),
+		workerChain("bbbb", "00000000000000b2", "w2", 1, 180),
+		// A chain from another trace must not appear.
+		{Name: "other", Hash: "cccc", Trace: "ffffffffffffffffffffffffffffffff",
+			Origin: OriginDaemon, Phases: []obs.PhaseSpan{{Phase: obs.PhaseQueueWait, EndNS: ms}}},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteStitched(&buf, tr, jobs); err != nil {
+		t.Fatalf("WriteStitched: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("stitched output is not JSON: %v", err)
+	}
+
+	procs := map[string]float64{} // process name -> pid
+	var jobSpans, phaseSpans int
+	runStarts := map[float64]bool{} // worker-side run-phase start instants (µs)
+	sawOtherTrace := false
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "M" && e["name"] == "process_name" {
+			args := e["args"].(map[string]any)
+			procs[args["name"].(string)] = e["pid"].(float64)
+		}
+		if e["ph"] == "X" {
+			switch e["cat"] {
+			case "job":
+				jobSpans++
+				args := e["args"].(map[string]any)
+				if args["trace"] != tr {
+					sawOtherTrace = true
+				}
+			case "phase":
+				phaseSpans++
+				if e["name"] == "run" && e["pid"].(float64) > 0 {
+					runStarts[e["ts"].(float64)] = true
+				}
+			}
+		}
+	}
+
+	if _, ok := procs["daemon"]; !ok {
+		t.Error("no daemon process lane")
+	}
+	if _, ok := procs["worker w1"]; !ok {
+		t.Errorf("no process lane for worker w1 (procs %v)", procs)
+	}
+	if _, ok := procs["worker w2"]; !ok {
+		t.Errorf("no process lane for worker w2 (procs %v)", procs)
+	}
+	if procs["worker w1"] == procs["worker w2"] || procs["worker w1"] == 0 {
+		t.Errorf("worker processes not distinct from each other and the daemon: %v", procs)
+	}
+	if jobSpans != 4 {
+		t.Errorf("job spans = %d, want 4 (other-trace chain excluded)", jobSpans)
+	}
+	if sawOtherTrace {
+		t.Error("a chain from another trace leaked into the stitched output")
+	}
+	if phaseSpans != 10 {
+		t.Errorf("phase spans = %d, want 10", phaseSpans)
+	}
+	// Worker chains are re-anchored onto the daemon timeline at their lease
+	// grants: w1's run phase starts at 10ms + 45ms = 55_000µs, w2's at
+	// 20ms + 90ms = 110_000µs.
+	if !runStarts[55_000] || !runStarts[110_000] || len(runStarts) != 2 {
+		t.Errorf("worker run-phase starts = %v µs, want {55000, 110000} (re-anchored)", runStarts)
+	}
+}
+
+// TestReconcileTelescoping pins the invariant check: matching totals pass,
+// a worker total past tolerance fails, an abandoned daemon chain is
+// skipped, and a worker chain with no daemon partner is an orphan.
+func TestReconcileTelescoping(t *testing.T) {
+	tol := 50 * time.Millisecond
+
+	// Lease held 100ms (grant 10 to end 110), worker spent 90ms: within tol.
+	ok := []obs.JobSpans{
+		daemonChain("aaaa", sp, "w1", 1, 10, 110),
+		workerChain("aaaa", sp, "w1", 1, 90),
+	}
+	if bad := Reconcile(ok, tol); len(bad) != 0 {
+		t.Fatalf("clean pair reported mismatches: %+v", bad)
+	}
+
+	// Worker claims 300ms inside a 100ms lease: a violation.
+	over := []obs.JobSpans{
+		daemonChain("aaaa", sp, "w1", 1, 10, 110),
+		workerChain("aaaa", sp, "w1", 1, 300),
+	}
+	bad := Reconcile(over, tol)
+	if len(bad) != 1 || bad[0].Hash != "aaaa" || bad[0].LeaseHeldNS != 100*ms || bad[0].WorkerNS != 300*ms {
+		t.Fatalf("overrun not caught: %+v", bad)
+	}
+
+	// An abandoned daemon chain (expired lease) has no partner and is
+	// skipped; the successful retry still reconciles.
+	abandoned := daemonChain("aaaa", "00000000000000c3", "w1", 1, 10, 60)
+	abandoned.Status = "abandoned"
+	crash := []obs.JobSpans{
+		abandoned,
+		daemonChain("aaaa", sp, "w2", 2, 70, 170),
+		workerChain("aaaa", sp, "w2", 2, 95),
+	}
+	if bad := Reconcile(crash, tol); len(bad) != 0 {
+		t.Fatalf("crash-retry run reported mismatches: %+v", bad)
+	}
+
+	// A worker chain whose span matches no daemon chain is an orphan.
+	orphan := Reconcile([]obs.JobSpans{workerChain("dddd", "00000000000000d4", "w9", 1, 10)}, tol)
+	if len(orphan) != 1 || orphan[0].LeaseHeldNS != -1 {
+		t.Fatalf("orphan not reported: %+v", orphan)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -33,6 +34,8 @@ const (
 	CompleteSchema = "dsre-serve-complete/v1"
 	// ErrorSchema identifies an error response body.
 	ErrorSchema = "dsre-serve-error/v1"
+	// HealthSchema identifies the /healthz liveness document.
+	HealthSchema = "dsre-serve-health/v1"
 )
 
 // JobState is the queue lifecycle of one unique job.
@@ -99,6 +102,7 @@ type SweepView struct {
 	Schema   string `json:"schema"`
 	Sweep    string `json:"sweep"`
 	Tenant   string `json:"tenant"`
+	Trace    string `json:"trace,omitempty"` // the sweep's 32-hex trace ID
 	Finished bool   `json:"finished"`
 
 	Total     int `json:"total"`      // submitted spec copies
@@ -123,12 +127,16 @@ type LeaseRequest struct {
 }
 
 // LeaseResponse grants one job to a worker.  The worker must heartbeat
-// before TTLMS elapses or the lease expires and the job requeues.
+// before TTLMS elapses or the lease expires and the job requeues.  Trace
+// is the enqueueing sweep's trace ID and Span the attempt's span ID (hex);
+// the worker stamps both onto the span chains it ships back.
 type LeaseResponse struct {
 	Schema  string        `json:"schema"`
 	Lease   string        `json:"lease"`
 	Hash    string        `json:"hash"`
 	Name    string        `json:"name"`
+	Trace   string        `json:"trace,omitempty"`
+	Span    string        `json:"span,omitempty"`
 	Attempt int           `json:"attempt"`
 	TTLMS   int64         `json:"ttl_ms"`
 	Spec    sweep.JobSpec `json:"spec"`
@@ -161,6 +169,13 @@ type CompleteRequest struct {
 	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
 
 	Record *sweep.Record `json:"record,omitempty"`
+
+	// Spans are the worker-side span chains for this job (queue-wait,
+	// prepare, run attempts, store upload), stamped with the lease's
+	// propagated trace/span IDs.  They travel beside the sealed record —
+	// never inside it, which would change the content address — and the
+	// daemon stitches them into the sweep's multi-process trace.
+	Spans []obs.JobSpans `json:"spans,omitempty"`
 }
 
 // CompleteResponse reports what an upload did to the job.  Duplicate means
@@ -173,8 +188,36 @@ type CompleteResponse struct {
 	State     string `json:"state"`
 }
 
-// ErrorResponse is every non-2xx JSON body.
+// ErrorResponse is every non-2xx JSON body: a stable machine-readable
+// code, a human message, and the request's trace ID so a client error
+// report can be matched to the daemon's request logs.
 type ErrorResponse struct {
-	Schema string `json:"schema"`
-	Error  string `json:"error"`
+	Schema  string `json:"schema"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Trace   string `json:"trace,omitempty"`
+}
+
+// Error codes carried by ErrorResponse.Code.
+const (
+	ErrCodeBadRequest  = "bad_request"
+	ErrCodeNotFound    = "not_found"
+	ErrCodeOverQuota   = "over_quota"
+	ErrCodeDraining    = "draining"
+	ErrCodeConflict    = "conflict"
+	ErrCodeLeaseGone   = "lease_gone"
+	ErrCodeVersionSkew = "version_skew"
+	ErrCodeInternal    = "internal"
+)
+
+// HealthView is the dsre-serve-health/v1 document served at /healthz:
+// liveness plus the version identity fleet operators use to spot skewed
+// workers.
+type HealthView struct {
+	Schema      string `json:"schema"`
+	Status      string `json:"status"` // "ok" or "draining"
+	SimVersion  string `json:"sim_version"`
+	GoVersion   string `json:"go_version"`
+	StartTimeMS int64  `json:"start_time_ms"` // unix milliseconds
+	UptimeMS    int64  `json:"uptime_ms"`
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/sweep"
 )
 
@@ -25,6 +26,9 @@ type job struct {
 	expiry   time.Time
 	noExpiry bool // local leases never expire (the dispatcher can't crash apart from the queue)
 
+	trace tracing.TraceID // trace of the sweep that enqueued the job
+	span  tracing.SpanID  // span of the current lease attempt
+
 	enqueuedNS int64 // obs-relative enqueue stamp (queue-wait span anchor)
 	result     *sweep.JobResult
 	sweeps     []*sweepRun // submissions referencing this job
@@ -35,6 +39,7 @@ type job struct {
 type sweepRun struct {
 	id        string
 	tenant    string
+	trace     tracing.TraceID
 	specs     []sweep.JobSpec
 	hashes    []string
 	copies    map[string]int
@@ -43,13 +48,15 @@ type sweepRun struct {
 }
 
 // LeasedJob is one lease grant handed to a worker (or to the local
-// dispatcher).
+// dispatcher).  Trace/Span are the attempt's trace-context IDs.
 type LeasedJob struct {
 	Lease   string
 	Hash    string
 	Name    string
 	Spec    sweep.JobSpec
 	Attempt int
+	Trace   tracing.TraceID
+	Span    tracing.SpanID
 }
 
 // Errors the HTTP layer maps onto status codes.
@@ -69,6 +76,7 @@ type Queue struct {
 	obs         *obs.ServeObs
 	leaseTTL    time.Duration
 	maxAttempts int
+	minter      *tracing.Minter
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -84,18 +92,24 @@ type Queue struct {
 }
 
 // NewQueue builds a queue.  o is required; leaseTTL bounds fleet-lease
-// heartbeat gaps; maxAttempts bounds lease grants per job.
-func NewQueue(o *obs.ServeObs, leaseTTL time.Duration, maxAttempts int) *Queue {
+// heartbeat gaps; maxAttempts bounds lease grants per job; minter mints
+// trace/span IDs (nil gets a zero-seeded minter — fine for tests, daemons
+// should seed from their start instant so fleets stay collision-free).
+func NewQueue(o *obs.ServeObs, leaseTTL time.Duration, maxAttempts int, minter *tracing.Minter) *Queue {
 	if leaseTTL <= 0 {
 		leaseTTL = 10 * time.Second
 	}
 	if maxAttempts <= 0 {
 		maxAttempts = 3
 	}
+	if minter == nil {
+		minter = tracing.NewMinter(0)
+	}
 	q := &Queue{
 		obs:         o,
 		leaseTTL:    leaseTTL,
 		maxAttempts: maxAttempts,
+		minter:      minter,
 		jobs:        map[string]*job{},
 		leases:      map[string]*job{},
 		sweeps:      map[string]*sweepRun{},
@@ -124,14 +138,18 @@ func (q *Queue) Wake() <-chan struct{} { return q.signal }
 // hits marking hashes the store already holds.  It returns the assigned
 // sweep ID.  Specs whose hash matches an existing job attach to it; store
 // hits materialise as already-done jobs; the rest enqueue.
-func (q *Queue) Submit(tenant string, specs []sweep.JobSpec, hashes []string, hits map[string]bool, now time.Time) string {
+func (q *Queue) Submit(tenant string, specs []sweep.JobSpec, hashes []string, hits map[string]bool, trace tracing.TraceID, now time.Time) string {
 	q.lock()
 	defer q.unlock()
 
+	if trace.IsZero() {
+		trace = q.minter.NextTrace()
+	}
 	q.sweepSeq++
 	s := &sweepRun{
 		id:     fmt.Sprintf("s-%04d", q.sweepSeq),
 		tenant: tenant,
+		trace:  trace,
 		specs:  specs,
 		hashes: hashes,
 		copies: map[string]int{},
@@ -150,7 +168,7 @@ func (q *Queue) Submit(tenant string, specs []sweep.JobSpec, hashes []string, hi
 		copies := s.copies[h]
 		j, ok := q.jobs[h]
 		if !ok {
-			j = &job{spec: specs[i], hash: h, name: specs[i].Name()}
+			j = &job{spec: specs[i], hash: h, name: specs[i].Name(), trace: trace}
 			q.jobs[h] = j
 			if hits[h] {
 				j.state = JobDone
@@ -182,7 +200,7 @@ func (q *Queue) Submit(tenant string, specs []sweep.JobSpec, hashes []string, hi
 	q.sweeps[s.id] = s
 	q.order = append(q.order, s.id)
 
-	q.obs.SweepSubmitted(s.id, tenant, len(specs), uniqueNew, cachedNow, now)
+	q.obs.SweepSubmitted(s.id, tenant, trace.String(), len(specs), uniqueNew, cachedNow, now)
 	if failedNow > 0 || s.open == 0 {
 		q.obs.SweepProgress(s.id, 0, 0, failedNow, s.open == 0, now)
 	}
@@ -238,10 +256,14 @@ func (q *Queue) leaseLocked(peer string, noExpiry bool, now time.Time) (LeasedJo
 	}
 	q.leaseSeq++
 	j.leaseID = fmt.Sprintf("L%06d", q.leaseSeq)
+	j.span = q.minter.NextSpan()
 	q.leases[j.leaseID] = j
 
-	q.obs.Lease(peer, j.hash, j.name, j.leaseID, j.attempts, j.enqueuedNS, now)
-	return LeasedJob{Lease: j.leaseID, Hash: j.hash, Name: j.name, Spec: j.spec, Attempt: j.attempts}, true
+	q.obs.Lease(peer, j.hash, j.name, j.leaseID, j.trace.String(), j.span.String(), j.attempts, j.enqueuedNS, now)
+	return LeasedJob{
+		Lease: j.leaseID, Hash: j.hash, Name: j.name, Spec: j.spec,
+		Attempt: j.attempts, Trace: j.trace, Span: j.span,
+	}, true
 }
 
 // Heartbeat extends a live fleet lease, returning the refreshed TTL.
@@ -464,7 +486,7 @@ func (q *Queue) View(id string, withJobs bool) (SweepView, bool) {
 
 func (q *Queue) viewLocked(s *sweepRun, withJobs bool) SweepView {
 	v := SweepView{
-		Schema: SweepSchema, Sweep: s.id, Tenant: s.tenant,
+		Schema: SweepSchema, Sweep: s.id, Tenant: s.tenant, Trace: s.trace.String(),
 		Total: len(s.specs), Unique: s.uniqueNew, Finished: s.open == 0,
 	}
 	first := map[string]bool{}
@@ -546,6 +568,17 @@ func (q *Queue) Manifest(id string) (*sweep.Manifest, bool, bool) {
 		}
 	}
 	return sweep.NewManifest(sum), s.open == 0, true
+}
+
+// Trace returns one sweep's trace ID.
+func (q *Queue) Trace(id string) (tracing.TraceID, bool) {
+	q.lock()
+	defer q.unlock()
+	s, ok := q.sweeps[id]
+	if !ok {
+		return tracing.TraceID{}, false
+	}
+	return s.trace, true
 }
 
 // Finished reports whether the sweep exists and has no open jobs.

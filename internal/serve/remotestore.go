@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs/tracing"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -28,6 +29,7 @@ type RemoteStore struct {
 	base      string
 	client    *http.Client
 	onCorrupt func(hash, detail string)
+	tc        tracing.Context
 }
 
 // NewRemoteStore builds a store talking to the daemon at base (e.g.
@@ -43,13 +45,40 @@ func NewRemoteStore(base string, client *http.Client) *RemoteStore {
 // the store_corrupt event, exactly as for DirStore).
 func (st *RemoteStore) SetOnCorrupt(fn func(hash, detail string)) { st.onCorrupt = fn }
 
+// SetTraceContext makes every subsequent Get/Put carry tc as a
+// traceparent header, so daemon-side request logs tie cache traffic to
+// the run that caused it.  Call before sharing the store across
+// goroutines (it is not synchronised).
+func (st *RemoteStore) SetTraceContext(tc tracing.Context) { st.tc = tc }
+
+// remoteError condenses a non-2xx response into an error, preferring the
+// dsre-serve-error/v1 envelope's code/message/trace over the bare status.
+func remoteError(op, hash string, resp *http.Response) error {
+	var env ErrorResponse
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if jerr := json.Unmarshal(body, &env); jerr == nil && env.Schema == ErrorSchema && env.Code != "" {
+		if env.Trace != "" {
+			return fmt.Errorf("serve: store %s %s: HTTP %d %s: %s (trace %s)", op, hash, resp.StatusCode, env.Code, env.Message, env.Trace)
+		}
+		return fmt.Errorf("serve: store %s %s: HTTP %d %s: %s", op, hash, resp.StatusCode, env.Code, env.Message)
+	}
+	return fmt.Errorf("serve: store %s %s: HTTP %d", op, hash, resp.StatusCode)
+}
+
 // Get fetches and verifies the record for a hash.  404 is a miss; a
 // record that fails schema, hash, version or payload verification is a
 // miss too (reported through OnCorrupt when the payload hash lies).
 // Transport errors are returned — the engine treats them as misses and
 // recomputes.
 func (st *RemoteStore) Get(hash string) (*sweep.Record, error) {
-	resp, err := st.client.Get(st.base + "/v1/artifacts/" + hash)
+	req, err := http.NewRequest(http.MethodGet, st.base+"/v1/artifacts/"+hash, nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: store get %s: %w", hash, err)
+	}
+	if st.tc.Valid() {
+		st.tc.SetHeader(req.Header)
+	}
+	resp, err := st.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("serve: store get %s: %w", hash, err)
 	}
@@ -59,8 +88,7 @@ func (st *RemoteStore) Get(hash string) (*sweep.Record, error) {
 		return nil, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return nil, fmt.Errorf("serve: store get %s: HTTP %d", hash, resp.StatusCode)
+		return nil, remoteError("get", hash, resp)
 	}
 	var rec sweep.Record
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRecordBytes)).Decode(&rec); err != nil {
@@ -93,14 +121,17 @@ func (st *RemoteStore) Put(rec *sweep.Record) error {
 		return fmt.Errorf("serve: store put %s: %w", rec.Hash, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if st.tc.Valid() {
+		st.tc.SetHeader(req.Header)
+	}
 	resp, err := st.client.Do(req)
 	if err != nil {
 		return fmt.Errorf("serve: store put %s: %w", rec.Hash, err)
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("serve: store put %s: HTTP %d", rec.Hash, resp.StatusCode)
+		return remoteError("put", rec.Hash, resp)
 	}
+	io.Copy(io.Discard, resp.Body)
 	return nil
 }

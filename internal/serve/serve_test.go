@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/serve"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
@@ -85,6 +87,7 @@ type daemon struct {
 	ts    *httptest.Server
 	store *sweep.DirStore
 	sink  *memSink
+	spans *obs.SpanLog
 }
 
 // startDaemon builds and starts a daemon.  localWorkers > 0 wires a local
@@ -98,10 +101,12 @@ func startDaemon(t *testing.T, cfg serve.Config, localWorkers int, runnerDelay t
 	sink := &memSink{}
 	reg := obs.NewRegistry()
 	start := time.Now()
+	spans := obs.NewSpanLog()
 	cfg.Store = store
-	cfg.Obs = obs.NewServeObs(reg, start, sink, nil, localWorkers)
+	cfg.Obs = obs.NewServeObs(reg, start, sink, spans, localWorkers)
+	cfg.Sink = sink
 	if localWorkers > 0 {
-		engObs := obs.NewSweepObsInto(reg, start, sink, nil)
+		engObs := obs.NewSweepObsInto(reg, start, sink, spans)
 		cfg.Engine = sweep.New(sweep.Options{
 			Workers: localWorkers, Store: store, Obs: engObs, Runner: fakeRunner(runnerDelay),
 		})
@@ -117,7 +122,7 @@ func startDaemon(t *testing.T, cfg serve.Config, localWorkers int, runnerDelay t
 		srv.Drain("test-cleanup", 2*time.Second)
 		ts.Close()
 	})
-	return &daemon{srv: srv, ts: ts, store: store, sink: sink}
+	return &daemon{srv: srv, ts: ts, store: store, sink: sink, spans: spans}
 }
 
 func (d *daemon) post(t *testing.T, path, tenant string, body any) (int, []byte) {
@@ -506,7 +511,7 @@ func TestDrainFlushesManifests(t *testing.T) {
 func TestQueueFirstWriteWins(t *testing.T) {
 	reg := obs.NewRegistry()
 	o := obs.NewServeObs(reg, time.Now(), nil, nil, 0)
-	q := serve.NewQueue(o, 100*time.Millisecond, 3)
+	q := serve.NewQueue(o, 100*time.Millisecond, 3, nil)
 
 	spec := sweep.JobSpec{Workload: "vecsum", Scheme: "dsre", Size: 32}
 	h, err := spec.Hash()
@@ -514,7 +519,7 @@ func TestQueueFirstWriteWins(t *testing.T) {
 		t.Fatal(err)
 	}
 	now := time.Now()
-	q.Submit("t", []sweep.JobSpec{spec}, []string{h}, nil, now)
+	q.Submit("t", []sweep.JobSpec{spec}, []string{h}, nil, tracing.TraceID{}, now)
 
 	// Worker 1 leases, then its lease expires; the job requeues and
 	// worker 2 leases it.
@@ -562,12 +567,12 @@ func TestQueueFirstWriteWins(t *testing.T) {
 func TestQueueExhaustsAttempts(t *testing.T) {
 	reg := obs.NewRegistry()
 	o := obs.NewServeObs(reg, time.Now(), nil, nil, 0)
-	q := serve.NewQueue(o, time.Second, 2)
+	q := serve.NewQueue(o, time.Second, 2, nil)
 
 	spec := sweep.JobSpec{Workload: "vecsum", Scheme: "dsre", Size: 32}
 	h, _ := spec.Hash()
 	now := time.Now()
-	id := q.Submit("t", []sweep.JobSpec{spec}, []string{h}, nil, now)
+	id := q.Submit("t", []sweep.JobSpec{spec}, []string{h}, nil, tracing.TraceID{}, now)
 
 	for i := 1; i <= 2; i++ {
 		l, ok := q.Lease("w", false, now)
@@ -800,5 +805,344 @@ func TestWorkerFleetEndToEnd(t *testing.T) {
 	// daemon must never have expired a healthy worker's lease.
 	if tot.LeaseExpiries != 0 || tot.Requeues != 0 {
 		t.Errorf("healthy fleet saw expiries %d / requeues %d", tot.LeaseExpiries, tot.Requeues)
+	}
+}
+
+// startTracedWorker runs a fleet worker whose engine records spans into its
+// own local SpanLog, which the worker ships with every completion upload.
+func startTracedWorker(t *testing.T, d *daemon, id string, delay time.Duration, onLease func(string) error) (cancel func(), done chan error) {
+	t.Helper()
+	wspans := obs.NewSpanLog()
+	engObs := obs.NewSweepObsInto(obs.NewRegistry(), time.Now(), nil, wspans)
+	w, err := serve.NewWorker(serve.WorkerOptions{
+		BaseURL: d.ts.URL, ID: id,
+		Engine:  sweep.New(sweep.Options{Workers: 1, Runner: fakeRunner(delay), Obs: engObs}),
+		Poll:    5 * time.Millisecond,
+		Spans:   wspans,
+		OnLease: onLease,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done = make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+	return stop, done
+}
+
+// submitTraced submits a grid with an explicit traceparent header and
+// returns the sweep view plus the context that was sent.
+func (d *daemon) submitTraced(t *testing.T, tenant string, grid *sweep.Grid, tc tracing.Context) *serve.SweepView {
+	t.Helper()
+	data, err := json.Marshal(serve.SubmitRequest{Schema: serve.SubmitSchema, Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, d.ts.URL+"/v1/sweeps", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-DSRE-Tenant", tenant)
+	tc.SetHeader(req.Header)
+	resp, err := d.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("traced submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var v serve.SweepView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	return &v
+}
+
+// fetchStitched downloads and parses the stitched cross-process trace for a
+// sweep.
+func (d *daemon) fetchStitched(t *testing.T, sweepID string) []map[string]any {
+	t.Helper()
+	resp, err := d.ts.Client().Get(d.ts.URL + "/v1/sweeps/" + sweepID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace endpoint: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("stitched trace is not JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+// TestTraceEndToEnd drives a two-worker fleet under one client-supplied
+// trace: the sweep adopts the inbound trace ID, every daemon- and
+// worker-side chain carries it, the stitched trace shows both worker
+// processes with a run span per executed job, and the telescoping invariant
+// (worker wall time inside the daemon's lease-held window) reconciles.
+func TestTraceEndToEnd(t *testing.T) {
+	d := startDaemon(t, serve.Config{LeaseTTL: 5 * time.Second, TraceSeed: 99}, 0, 0)
+
+	stopA, doneA := startTracedWorker(t, d, "w1", 40*time.Millisecond, nil)
+	stopB, doneB := startTracedWorker(t, d, "w2", 40*time.Millisecond, nil)
+
+	m := tracing.NewMinter(7)
+	tc := tracing.Context{Trace: m.NextTrace(), Span: m.NextSpan()}
+	grid := &sweep.Grid{Workloads: []string{"vecsum"}, Schemes: []string{"dsre", "oracle"}, Sizes: []int{32, 64}}
+	v := d.submitTraced(t, "trace", grid, tc)
+	if v.Trace != tc.Trace.String() {
+		t.Fatalf("sweep trace = %q, want the submitted %q", v.Trace, tc.Trace)
+	}
+
+	fin := d.waitFinished(t, v.Sweep, 10*time.Second)
+	stopA()
+	stopB()
+	if err := <-doneA; err != nil {
+		t.Fatalf("worker w1: %v", err)
+	}
+	if err := <-doneB; err != nil {
+		t.Fatalf("worker w2: %v", err)
+	}
+	if fin.Done != 4 || fin.Failed != 0 {
+		t.Fatalf("fleet sweep: %+v", fin)
+	}
+
+	// Every recorded chain — daemon-side and shipped worker-side — carries
+	// the client's trace ID.
+	chains := d.spans.Jobs()
+	workerOrigins := map[string]int{}
+	for _, c := range chains {
+		if c.Trace != tc.Trace.String() {
+			t.Errorf("chain %s (origin %s) trace = %q, want %q", c.Hash, c.Origin, c.Trace, tc.Trace)
+		}
+		if c.Origin != tracing.OriginDaemon {
+			workerOrigins[c.Origin]++
+		}
+	}
+	if len(workerOrigins) != 2 {
+		t.Fatalf("shipped chains from origins %v, want both w1 and w2", workerOrigins)
+	}
+
+	// The stitched trace has one process per party and one worker-side run
+	// span per executed job.
+	events := d.fetchStitched(t, v.Sweep)
+	procs := map[string]bool{}
+	workerJobHashes := map[string]bool{}
+	runSpans := 0
+	for _, e := range events {
+		if e["ph"] == "M" && e["name"] == "process_name" {
+			procs[e["args"].(map[string]any)["name"].(string)] = true
+		}
+		if e["ph"] != "X" {
+			continue
+		}
+		switch e["cat"] {
+		case "job":
+			args := e["args"].(map[string]any)
+			if args["trace"] != tc.Trace.String() {
+				t.Errorf("stitched job span has foreign trace %v", args["trace"])
+			}
+			if args["origin"] != tracing.OriginDaemon {
+				workerJobHashes[args["hash"].(string)] = true
+			}
+		case "phase":
+			if e["name"] == "run" && e["pid"].(float64) > 0 {
+				runSpans++
+			}
+		}
+	}
+	for _, p := range []string{"daemon", "worker w1", "worker w2"} {
+		if !procs[p] {
+			t.Errorf("stitched trace missing process %q (have %v)", p, procs)
+		}
+	}
+	if len(workerJobHashes) != 4 {
+		t.Errorf("worker-side job spans cover %d hashes, want all 4 executed jobs", len(workerJobHashes))
+	}
+	if runSpans < 4 {
+		t.Errorf("worker-side run spans = %d, want >= 1 per executed job (4)", runSpans)
+	}
+
+	// Telescoping: each worker chain's wall time fits inside the daemon's
+	// lease-held window within tolerance.
+	if bad := tracing.Reconcile(chains, time.Second); len(bad) != 0 {
+		t.Errorf("telescoping violations: %+v", bad)
+	}
+}
+
+// TestWorkerCrashTraceStitching pins trace stitching across a crash-requeue:
+// the abandoned attempt and the successful retry appear as separate chains
+// under one trace with distinct span IDs, and the shipped worker chain
+// matches the retry's span.
+func TestWorkerCrashTraceStitching(t *testing.T) {
+	d := startDaemon(t, serve.Config{LeaseTTL: 150 * time.Millisecond, MaxAttempts: 3, TraceSeed: 5}, 0, 0)
+
+	grid := &sweep.Grid{Workloads: []string{"vecsum"}, Schemes: []string{"dsre"}, Sizes: []int{32}}
+	v := d.submit(t, "fleet", grid)
+	h, err := (sweep.JobSpec{Workload: "vecsum", Scheme: "dsre", Size: 32}).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker A leases the only job and dies on it; worker B completes the
+	// requeued attempt.
+	crash := fmt.Errorf("injected crash")
+	wa, err := serve.NewWorker(serve.WorkerOptions{
+		BaseURL: d.ts.URL, ID: "crashy",
+		Engine:  sweep.New(sweep.Options{Workers: 1, Runner: fakeRunner(0)}),
+		Poll:    10 * time.Millisecond,
+		OnLease: func(string) error { return crash },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Run(context.Background()); err != crash {
+		t.Fatalf("crashy worker Run = %v, want injected crash", err)
+	}
+	stopB, doneB := startTracedWorker(t, d, "steady", 0, nil)
+	fin := d.waitFinished(t, v.Sweep, 10*time.Second)
+	stopB()
+	if err := <-doneB; err != nil {
+		t.Fatalf("steady worker: %v", err)
+	}
+	if fin.Done != 1 || fin.Failed != 0 {
+		t.Fatalf("sweep after crash: %+v", fin)
+	}
+
+	var abandoned, completed, shipped []obs.JobSpans
+	for _, c := range d.spans.Jobs() {
+		if c.Hash != h {
+			continue
+		}
+		switch {
+		case c.Origin != tracing.OriginDaemon:
+			shipped = append(shipped, c)
+		case c.Status == "abandoned":
+			abandoned = append(abandoned, c)
+		default:
+			completed = append(completed, c)
+		}
+	}
+	if len(abandoned) != 1 || len(completed) != 1 || len(shipped) != 1 {
+		t.Fatalf("chains: %d abandoned, %d completed, %d shipped; want 1 each", len(abandoned), len(completed), len(shipped))
+	}
+	if abandoned[0].Trace != fin.Trace || completed[0].Trace != fin.Trace {
+		t.Errorf("attempts do not share the sweep trace %q: %q / %q", fin.Trace, abandoned[0].Trace, completed[0].Trace)
+	}
+	if abandoned[0].Span == completed[0].Span || abandoned[0].Span == "" {
+		t.Errorf("attempts share span ID %q; each lease attempt needs its own", abandoned[0].Span)
+	}
+	if abandoned[0].Peer != "crashy" || completed[0].Peer != "steady" {
+		t.Errorf("attempt peers = %q / %q, want crashy then steady", abandoned[0].Peer, completed[0].Peer)
+	}
+	if shipped[0].Span != completed[0].Span || shipped[0].Origin != "steady" || shipped[0].Attempt != completed[0].Attempt {
+		t.Errorf("shipped chain %+v does not match the completing attempt %+v", shipped[0], completed[0])
+	}
+
+	// Both attempts appear in the stitched trace, and the abandoned one
+	// never picked up a worker-side chain; Reconcile skips it.
+	daemonJobSpans := 0
+	for _, e := range d.fetchStitched(t, v.Sweep) {
+		if e["ph"] == "X" && e["cat"] == "job" {
+			if e["args"].(map[string]any)["origin"] == tracing.OriginDaemon {
+				daemonJobSpans++
+			}
+		}
+	}
+	if daemonJobSpans != 2 {
+		t.Errorf("stitched daemon-side job spans = %d, want both attempts", daemonJobSpans)
+	}
+	if bad := tracing.Reconcile(d.spans.Jobs(), time.Second); len(bad) != 0 {
+		t.Errorf("telescoping violations after crash-requeue: %+v", bad)
+	}
+}
+
+// TestErrorEnvelope pins the JSON error contract: typed codes, the
+// dsre-serve-error/v1 schema, and the caller's trace ID echoed back.
+func TestErrorEnvelope(t *testing.T) {
+	d := startDaemon(t, serve.Config{BatchLinger: -1}, 1, 0)
+
+	m := tracing.NewMinter(11)
+	tc := tracing.Context{Trace: m.NextTrace(), Span: m.NextSpan()}
+	req, err := http.NewRequest(http.MethodGet, d.ts.URL+"/v1/sweeps/s-9999", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.SetHeader(req.Header)
+	resp, err := d.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sweep: HTTP %d", resp.StatusCode)
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("404 body is not a JSON envelope: %s", body)
+	}
+	if er.Schema != serve.ErrorSchema || er.Code != serve.ErrCodeNotFound || er.Message == "" {
+		t.Errorf("404 envelope: %+v", er)
+	}
+	if er.Trace != tc.Trace.String() {
+		t.Errorf("404 envelope trace = %q, want the caller's %q", er.Trace, tc.Trace)
+	}
+
+	// A malformed submit gets bad_request with a minted (non-empty) trace.
+	code, body := d.post(t, "/v1/sweeps", "t", map[string]string{"schema": "wrong"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("malformed submit: HTTP %d", code)
+	}
+	if err := json.Unmarshal(body, &er); err != nil || er.Code != serve.ErrCodeBadRequest || er.Trace == "" {
+		t.Errorf("400 envelope: %s", body)
+	}
+
+	// A completion against a dead lease 404s through the same envelope.
+	code, body = d.post(t, "/v1/fleet/complete", "", serve.CompleteRequest{
+		Schema: serve.CompleteSchema, Lease: "nope", Worker: "w", Hash: "feedbeef",
+		Status: sweep.StatusFailed, Error: "boom",
+	})
+	if code != http.StatusNotFound {
+		t.Fatalf("complete with dead lease: HTTP %d (%s)", code, body)
+	}
+	if err := json.Unmarshal(body, &er); err != nil || er.Code != serve.ErrCodeLeaseGone {
+		t.Errorf("lease-gone envelope: %s", body)
+	}
+}
+
+// TestHealthz pins the JSON health document: schema, simulator and Go
+// runtime versions, start time, and the draining status flip.
+func TestHealthz(t *testing.T) {
+	d := startDaemon(t, serve.Config{BatchLinger: -1}, 1, 0)
+
+	var h serve.HealthView
+	if code := d.get(t, "/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	if h.Schema != serve.HealthSchema || h.Status != "ok" {
+		t.Errorf("health view: %+v", h)
+	}
+	if h.SimVersion != sim.Version {
+		t.Errorf("sim version = %q, want %q", h.SimVersion, sim.Version)
+	}
+	if h.GoVersion == "" || h.StartTimeMS <= 0 {
+		t.Errorf("runtime fields missing: %+v", h)
+	}
+
+	d.srv.Drain("test", time.Second)
+	if code := d.get(t, "/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz after drain: HTTP %d", code)
+	}
+	if h.Status != "draining" {
+		t.Errorf("status after drain = %q, want draining", h.Status)
 	}
 }

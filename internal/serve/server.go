@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,12 +18,21 @@ import (
 
 	"repro/internal/explain"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
 // maxSubmitBytes bounds a submit request body.
 const maxSubmitBytes = 16 << 20
+
+// maxShippedChains / maxShippedPhases bound the worker span chains the
+// daemon ingests per completed job (a chain per engine attempt is normal;
+// anything past these limits is silently truncated).
+const (
+	maxShippedChains = 16
+	maxShippedPhases = 256
+)
 
 // Config assembles a Server.
 type Config struct {
@@ -56,6 +66,16 @@ type Config struct {
 	// sweep at drain time (<dir>/<sweep-id>.json).
 	ManifestDir string
 
+	// Sink, when set, receives the per-request http_request/slow_request
+	// events (share the daemon's JSONL sink with Obs).
+	Sink obs.EventSink
+	// SlowRequest is the latency threshold past which a request emits a
+	// dedicated slow_request event (0 disables).
+	SlowRequest time.Duration
+	// TraceSeed seeds the trace/span ID minter (0 derives it from the
+	// clock at New; tests pin it for reproducible IDs).
+	TraceSeed uint64
+
 	// Now is the clock (tests inject; nil means time.Now).
 	Now func() time.Time
 }
@@ -64,10 +84,12 @@ type Config struct {
 // lease janitor and the dsre-serve/v1 HTTP surface.  Build with New, wire
 // Handler into an http.Server, call Start, and Drain on shutdown.
 type Server struct {
-	cfg    Config
-	q      *Queue
-	quotas *Quotas
-	mux    *http.ServeMux
+	cfg       Config
+	q         *Queue
+	quotas    *Quotas
+	mux       *http.ServeMux
+	red       *tracing.RED
+	startTime time.Time
 
 	draining  atomic.Bool
 	drainCh   chan struct{} // closed when drain begins: dispatcher stops leasing
@@ -103,10 +125,17 @@ func New(cfg Config) (*Server, error) {
 	} else if cfg.BatchLinger == 0 {
 		cfg.BatchLinger = 25 * time.Millisecond
 	}
+	seed := cfg.TraceSeed
+	if seed == 0 {
+		seed = uint64(cfg.Now().UnixNano())
+	}
+	minter := tracing.NewMinter(seed)
 	s := &Server{
 		cfg:          cfg,
-		q:            NewQueue(cfg.Obs, cfg.LeaseTTL, cfg.MaxAttempts),
+		q:            NewQueue(cfg.Obs, cfg.LeaseTTL, cfg.MaxAttempts, minter),
 		quotas:       NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
+		red:          tracing.NewRED(cfg.Obs.Reg, cfg.Sink, minter, cfg.Now, cfg.SlowRequest),
+		startTime:    cfg.Now(),
 		drainCh:      make(chan struct{}),
 		stopCh:       make(chan struct{}),
 		dispatchDone: make(chan struct{}),
@@ -269,21 +298,30 @@ func (s *Server) flushManifests() {
 // Handler returns the daemon's HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// routes wires the HTTP surface.  Every /v1 route and /progress runs
+// under the RED middleware (request counters, latency histograms, trace
+// propagation, request logs); /metrics, /healthz, /debug/pprof and the
+// index stay bare so scrapes and probes never perturb the request
+// metrics they report.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
-	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweep)
-	mux.HandleFunc("GET /v1/sweeps/{id}/manifest", s.handleManifest)
-	mux.HandleFunc("GET /v1/artifacts/{hash}", s.handleArtifactGet)
-	mux.HandleFunc("PUT /v1/artifacts/{hash}", s.handleArtifactPut)
-	mux.HandleFunc("GET /v1/artifacts/{hash}/report", s.handleReport)
-	mux.HandleFunc("GET /v1/artifacts/{hash}/explain", s.handleExplain)
-	mux.HandleFunc("POST /v1/fleet/lease", s.handleLease)
-	mux.HandleFunc("POST /v1/fleet/heartbeat", s.handleHeartbeat)
-	mux.HandleFunc("POST /v1/fleet/complete", s.handleComplete)
+	wrap := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.red.Wrap(pattern, h))
+	}
+	wrap("POST /v1/sweeps", s.handleSubmit)
+	wrap("GET /v1/sweeps", s.handleSweepList)
+	wrap("GET /v1/sweeps/{id}", s.handleSweep)
+	wrap("GET /v1/sweeps/{id}/manifest", s.handleManifest)
+	wrap("GET /v1/sweeps/{id}/trace", s.handleTrace)
+	wrap("GET /v1/artifacts/{hash}", s.handleArtifactGet)
+	wrap("PUT /v1/artifacts/{hash}", s.handleArtifactPut)
+	wrap("GET /v1/artifacts/{hash}/report", s.handleReport)
+	wrap("GET /v1/artifacts/{hash}/explain", s.handleExplain)
+	wrap("POST /v1/fleet/lease", s.handleLease)
+	wrap("POST /v1/fleet/heartbeat", s.handleHeartbeat)
+	wrap("POST /v1/fleet/complete", s.handleComplete)
+	wrap("GET /progress", s.handleProgress)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /progress", s.handleProgress)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -302,14 +340,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Schema: ErrorSchema, Error: fmt.Sprintf(format, args...)})
+// writeError renders the dsre-serve-error/v1 envelope, stamping the
+// request's trace ID so a client-side error report can be matched to the
+// daemon's request logs.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...any) {
+	var trace string
+	if tc, ok := tracing.FromContext(r.Context()); ok {
+		trace = tc.Trace.String()
+	}
+	writeJSON(w, status, ErrorResponse{
+		Schema: ErrorSchema, Code: code, Message: fmt.Sprintf(format, args...), Trace: trace,
+	})
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
 	dec := json.NewDecoder(io.LimitReader(r.Body, limit))
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, r, http.StatusBadRequest, ErrCodeBadRequest, "bad request body: %v", err)
 		return false
 	}
 	return true
@@ -317,7 +364,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) bool
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "daemon is draining")
+		writeError(w, r, http.StatusServiceUnavailable, ErrCodeDraining, "daemon is draining")
 		return
 	}
 	tenant := r.Header.Get("X-DSRE-Tenant")
@@ -332,21 +379,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Grid != nil {
 		expanded, err := req.Grid.Expand()
 		if err != nil && len(req.Specs) == 0 {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, r, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 			return
 		}
 		specs = append(specs, expanded...)
 	}
 	specs = append(specs, req.Specs...)
 	if len(specs) == 0 {
-		writeError(w, http.StatusBadRequest, "submit names no specs")
+		writeError(w, r, http.StatusBadRequest, ErrCodeBadRequest, "submit names no specs")
 		return
 	}
 	now := s.now()
 	if ok, retry := s.quotas.Allow(tenant, len(specs), now); !ok {
 		s.cfg.Obs.QuotaRejected(tenant, now)
 		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)+1))
-		writeError(w, http.StatusTooManyRequests, "tenant %q over quota, retry in %s", tenant, retry.Round(time.Millisecond))
+		writeError(w, r, http.StatusTooManyRequests, ErrCodeOverQuota, "tenant %q over quota, retry in %s", tenant, retry.Round(time.Millisecond))
 		return
 	}
 
@@ -360,7 +407,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			err = spec.Validate()
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "spec %d (%s): %v", i, spec.Name(), err)
+			writeError(w, r, http.StatusBadRequest, ErrCodeBadRequest, "spec %d (%s): %v", i, spec.Name(), err)
 			return
 		}
 		if canon, cerr := spec.Canonical(); cerr == nil {
@@ -373,7 +420,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	id := s.q.Submit(tenant, specs, hashes, hits, now)
+	// The sweep adopts the submit request's trace so the daemon's request
+	// log, the sweep document and every job span share one trace ID.
+	var trace tracing.TraceID
+	if tc, ok := tracing.FromContext(r.Context()); ok {
+		trace = tc.Trace
+	}
+	id := s.q.Submit(tenant, specs, hashes, hits, trace, now)
 	v, _ := s.q.View(id, true)
 	writeJSON(w, http.StatusCreated, v)
 }
@@ -391,7 +444,7 @@ func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	v, ok := s.q.View(r.PathValue("id"), true)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		writeError(w, r, http.StatusNotFound, ErrCodeNotFound, "no sweep %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -401,21 +454,40 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	m, finished, ok := s.q.Manifest(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		writeError(w, r, http.StatusNotFound, ErrCodeNotFound, "no sweep %q", id)
 		return
 	}
 	if !finished {
-		writeError(w, http.StatusConflict, "sweep %s is still running", id)
+		writeError(w, r, http.StatusConflict, ErrCodeConflict, "sweep %s is still running", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+// handleTrace serves the stitched multi-process Chrome trace for one
+// sweep: daemon-side lease lanes plus every worker-side span chain that
+// shares the sweep's trace ID.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	trace, ok := s.q.Trace(id)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, ErrCodeNotFound, "no sweep %q", id)
+		return
+	}
+	spans := s.cfg.Obs.Spans()
+	if spans == nil {
+		writeError(w, r, http.StatusConflict, ErrCodeConflict, "span collection is disabled on this daemon")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tracing.WriteStitched(w, trace.String(), spans.Jobs())
 }
 
 func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	rec, err := s.cfg.Store.Get(hash)
 	if err != nil || rec == nil {
-		writeError(w, http.StatusNotFound, "no artifact %s", hash)
+		writeError(w, r, http.StatusNotFound, ErrCodeNotFound, "no artifact %s", hash)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -427,40 +499,41 @@ func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, maxRecordBytes, &rec) {
 		return
 	}
-	if code, msg := s.checkRecord(&rec, hash); code != 0 {
-		writeError(w, code, "%s", msg)
+	if code, ecode, msg := s.checkRecord(&rec, hash); code != 0 {
+		writeError(w, r, code, ecode, "%s", msg)
 		return
 	}
 	if err := s.cfg.Store.Put(&rec); err != nil {
-		writeError(w, http.StatusInternalServerError, "store put: %v", err)
+		writeError(w, r, http.StatusInternalServerError, ErrCodeInternal, "store put: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"stored": true})
 }
 
 // checkRecord verifies an uploaded record's addressing, version keying and
-// payload integrity.  Returns (0, "") when acceptable.
-func (s *Server) checkRecord(rec *sweep.Record, hash string) (int, string) {
+// payload integrity.  Returns (0, "", "") when acceptable; otherwise the
+// HTTP status, the error envelope code and the message.
+func (s *Server) checkRecord(rec *sweep.Record, hash string) (int, string, string) {
 	if rec.Report == nil {
-		return http.StatusBadRequest, "record has no report payload"
+		return http.StatusBadRequest, ErrCodeBadRequest, "record has no report payload"
 	}
 	if rec.Hash != hash {
-		return http.StatusBadRequest, fmt.Sprintf("record hash %s does not match address %s", rec.Hash, hash)
+		return http.StatusBadRequest, ErrCodeBadRequest, fmt.Sprintf("record hash %s does not match address %s", rec.Hash, hash)
 	}
 	if rec.SimVersion != "" && rec.SimVersion != sim.Version {
-		return http.StatusConflict, fmt.Sprintf("record sim version %q, daemon runs %q (version-skewed worker)", rec.SimVersion, sim.Version)
+		return http.StatusConflict, ErrCodeVersionSkew, fmt.Sprintf("record sim version %q, daemon runs %q (version-skewed worker)", rec.SimVersion, sim.Version)
 	}
 	if err := rec.VerifyPayload(); err != nil {
-		return http.StatusBadRequest, fmt.Sprintf("payload verification failed: %v", err)
+		return http.StatusBadRequest, ErrCodeBadRequest, fmt.Sprintf("payload verification failed: %v", err)
 	}
-	return 0, ""
+	return 0, "", ""
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	rec, err := s.cfg.Store.Get(hash)
 	if err != nil || rec == nil {
-		writeError(w, http.StatusNotFound, "no artifact %s", hash)
+		writeError(w, r, http.StatusNotFound, ErrCodeNotFound, "no artifact %s", hash)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec.Report)
@@ -470,7 +543,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	rec, err := s.cfg.Store.Get(hash)
 	if err != nil || rec == nil {
-		writeError(w, http.StatusNotFound, "no artifact %s", hash)
+		writeError(w, r, http.StatusNotFound, ErrCodeNotFound, "no artifact %s", hash)
 		return
 	}
 	top := 10
@@ -492,7 +565,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Worker == "" {
-		writeError(w, http.StatusBadRequest, "lease request names no worker")
+		writeError(w, r, http.StatusBadRequest, ErrCodeBadRequest, "lease request names no worker")
 		return
 	}
 	if s.draining.Load() {
@@ -505,8 +578,12 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	// The grant carries the job's trace context both in the body and as a
+	// traceparent header so the worker can thread it through its own spans.
+	tracing.Context{Trace: lj.Trace, Span: lj.Span}.SetHeader(w.Header())
 	writeJSON(w, http.StatusOK, LeaseResponse{
 		Schema: LeaseSchema, Lease: lj.Lease, Hash: lj.Hash, Name: lj.Name,
+		Trace: lj.Trace.String(), Span: lj.Span.String(),
 		Attempt: lj.Attempt, TTLMS: s.q.leaseTTL.Milliseconds(), Spec: lj.Spec,
 	})
 }
@@ -518,7 +595,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	ttl, err := s.q.Heartbeat(req.Lease, s.now())
 	if err != nil {
-		writeError(w, http.StatusGone, "%v", err)
+		writeError(w, r, http.StatusGone, ErrCodeLeaseGone, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, HeartbeatResponse{Schema: LeaseSchema, TTLMS: ttl.Milliseconds()})
@@ -530,7 +607,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Hash == "" {
-		writeError(w, http.StatusBadRequest, "complete names no job hash")
+		writeError(w, r, http.StatusBadRequest, ErrCodeBadRequest, "complete names no job hash")
 		return
 	}
 	res := sweep.JobResult{
@@ -539,29 +616,46 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Status == sweep.StatusOK {
 		if req.Record == nil {
-			writeError(w, http.StatusBadRequest, "ok completion carries no record")
+			writeError(w, r, http.StatusBadRequest, ErrCodeBadRequest, "ok completion carries no record")
 			return
 		}
-		if code, msg := s.checkRecord(req.Record, req.Hash); code != 0 {
-			writeError(w, code, "%s", msg)
+		if code, ecode, msg := s.checkRecord(req.Record, req.Hash); code != 0 {
+			writeError(w, r, code, ecode, "%s", msg)
 			return
 		}
 		// Persist before acknowledging: once the worker hears "accepted",
 		// the payload must be durable.  First write wins in the store, so a
 		// racing duplicate is dropped there and again in the queue.
 		if err := s.cfg.Store.Put(req.Record); err != nil {
-			writeError(w, http.StatusInternalServerError, "store put: %v", err)
+			writeError(w, r, http.StatusInternalServerError, ErrCodeInternal, "store put: %v", err)
 			return
 		}
 		res.Report = req.Record.Report
 	} else if req.Status != sweep.StatusFailed {
-		writeError(w, http.StatusBadRequest, "status %q is neither %q nor %q", req.Status, sweep.StatusOK, sweep.StatusFailed)
+		writeError(w, r, http.StatusBadRequest, ErrCodeBadRequest, "status %q is neither %q nor %q", req.Status, sweep.StatusOK, sweep.StatusFailed)
 		return
 	}
 	accepted, duplicate, state, err := s.q.Complete(req.Lease, req.Worker, req.Hash, res, true, s.now())
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, r, http.StatusNotFound, ErrCodeLeaseGone, "%v", err)
 		return
+	}
+	// Ingest the worker's shipped span chains once the upload is accepted,
+	// with the origin pinned to the authenticated-by-lease worker ID (never
+	// trust the chain's own Origin field).  Bounded so a misbehaving worker
+	// cannot balloon the daemon's span log.
+	if len(req.Spans) > 0 {
+		chains := req.Spans
+		if len(chains) > maxShippedChains {
+			chains = chains[:maxShippedChains]
+		}
+		for i := range chains {
+			chains[i].Origin = req.Worker
+			if len(chains[i].Phases) > maxShippedPhases {
+				chains[i].Phases = chains[i].Phases[:maxShippedPhases]
+			}
+		}
+		s.cfg.Obs.WorkerSpans(chains)
 	}
 	writeJSON(w, http.StatusOK, CompleteResponse{
 		Schema: CompleteSchema, Accepted: accepted, Duplicate: duplicate, State: state.String(),
@@ -584,12 +678,17 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	status := "ok"
 	if s.draining.Load() {
-		fmt.Fprintln(w, "draining")
-		return
+		status = "draining"
 	}
-	fmt.Fprintln(w, "ok")
+	now := s.now()
+	writeJSON(w, http.StatusOK, HealthView{
+		Schema: HealthSchema, Status: status,
+		SimVersion: sim.Version, GoVersion: runtime.Version(),
+		StartTimeMS: s.startTime.UnixMilli(),
+		UptimeMS:    now.Sub(s.startTime).Milliseconds(),
+	})
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -599,6 +698,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  GET  /v1/sweeps                     list sweeps")
 	fmt.Fprintln(w, "  GET  /v1/sweeps/{id}                sweep status (dsre-serve-sweep/v1)")
 	fmt.Fprintln(w, "  GET  /v1/sweeps/{id}/manifest       manifest once finished (409 before)")
+	fmt.Fprintln(w, "  GET  /v1/sweeps/{id}/trace          stitched cross-process Chrome trace")
 	fmt.Fprintln(w, "  GET  /v1/artifacts/{hash}           cached result record")
 	fmt.Fprintln(w, "  PUT  /v1/artifacts/{hash}           upload a sealed record")
 	fmt.Fprintln(w, "  GET  /v1/artifacts/{hash}/report    dsre-report/v1 payload")

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/sweep"
 )
 
@@ -31,6 +33,12 @@ type WorkerOptions struct {
 	Poll time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+
+	// Spans, when set, must be the SpanLog the Engine's SweepObs records
+	// into.  After each run the worker takes the job's span chains out of
+	// it, stamps them with the lease's propagated trace/span IDs, and ships
+	// them to the daemon inside the complete upload.
+	Spans *obs.SpanLog
 
 	// OnLease, when set, runs after each lease grant and before execution.
 	// Returning an error makes the worker abandon the lease and stop dead —
@@ -157,6 +165,19 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		Schema: CompleteSchema, Worker: w.o.ID, Lease: lease.Lease, Hash: lease.Hash,
 		Status: r.Status, Error: r.Error, ElapsedMS: r.Elapsed,
 	}
+	// Ship the worker-side span chains for this job, stamped with the
+	// lease's propagated trace context so the daemon can stitch them into
+	// the sweep's cross-process trace.
+	if w.o.Spans != nil {
+		chains := w.o.Spans.TakeByHash(lease.Hash)
+		for i := range chains {
+			chains[i].Trace = lease.Trace
+			chains[i].Span = lease.Span
+			chains[i].Origin = w.o.ID
+			chains[i].Attempt = lease.Attempt
+		}
+		req.Spans = chains
+	}
 	if r.Status == sweep.StatusOK {
 		canon, err := lease.Spec.Canonical()
 		if err != nil {
@@ -176,7 +197,7 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 	var resp CompleteResponse
 	//lint:ctxcheck — bounded to 3 attempts; deliberately ignores ctx so a finished result survives graceful shutdown
 	for attempt := 0; attempt < 3; attempt++ {
-		code, err := w.post(context.Background(), "/v1/fleet/complete", &req, &resp)
+		code, err := w.postTraced(context.Background(), "/v1/fleet/complete", lease, &req, &resp)
 		if err == nil && code/100 == 2 {
 			w.done.Add(1)
 			return
@@ -203,7 +224,7 @@ func (w *Worker) heartbeats(ctx context.Context, lease *LeaseResponse, stop <-ch
 		case <-t.C:
 			var resp HeartbeatResponse
 			req := HeartbeatRequest{Schema: LeaseSchema, Worker: w.o.ID, Lease: lease.Lease}
-			_, _ = w.post(ctx, "/v1/fleet/heartbeat", &req, &resp)
+			_, _ = w.postTraced(ctx, "/v1/fleet/heartbeat", lease, &req, &resp)
 		case <-stop:
 			return
 		case <-ctx.Done():
@@ -229,9 +250,46 @@ func (w *Worker) lease(ctx context.Context) (*LeaseResponse, int, error) {
 	return &resp, code, nil
 }
 
+// DaemonHealth fetches the daemon's /healthz identity document (workers
+// log it at join time to surface version skew before the first lease).
+func (w *Worker) DaemonHealth(ctx context.Context) (*HealthView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.o.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.o.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var hv HealthView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&hv); err != nil {
+		return nil, fmt.Errorf("serve: healthz: %w", err)
+	}
+	return &hv, nil
+}
+
+// postTraced is post with the lease's trace context propagated as a
+// traceparent header, tying fleet-protocol requests into the sweep's
+// trace in the daemon's request logs.
+func (w *Worker) postTraced(ctx context.Context, path string, lease *LeaseResponse, in, out any) (int, error) {
+	var tc tracing.Context
+	if t, err := tracing.ParseTraceID(lease.Trace); err == nil {
+		tc.Trace = t
+	}
+	if sp, err := tracing.ParseSpanID(lease.Span); err == nil {
+		tc.Span = sp
+	}
+	return w.postCtx(ctx, path, tc, in, out)
+}
+
 // post sends one JSON request and decodes a JSON response (when out is
 // non-nil and the response has a body).
 func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	return w.postCtx(ctx, path, tracing.Context{}, in, out)
+}
+
+func (w *Worker) postCtx(ctx context.Context, path string, tc tracing.Context, in, out any) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, err
@@ -241,6 +299,9 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tc.Valid() {
+		tc.SetHeader(req.Header)
+	}
 	resp, err := w.o.Client.Do(req)
 	if err != nil {
 		return 0, err
