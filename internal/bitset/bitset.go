@@ -1,0 +1,176 @@
+// Package bitset provides the small fixed-width bit-mask types the
+// simulator's selection logic is built on: per-block instruction masks
+// (Mask128), per-block memory-op occupancy masks (Mask32), and a wrapped
+// power-of-two ring of block slots (Ring).  Pick-next queries resolve with
+// math/bits priority-encoder intrinsics (TrailingZeros), which is how
+// hardware EDGE schedulers select ready instructions — a CLZ over a ready
+// bitmap instead of an associative scan.
+//
+// The package is deterministic by construction (pure word arithmetic, no
+// maps, no time, no goroutines) and is part of the dsre-lint determinism
+// audit set.
+package bitset
+
+import "math/bits"
+
+// Mask32 is a 32-slot occupancy mask, indexed by LSID (the LSQ's
+// per-block memory-operation masks; isa.MaxMemOps = 32).
+type Mask32 uint32
+
+// Set sets bit i.
+func (m *Mask32) Set(i int) { *m |= 1 << uint(i) }
+
+// Clear clears bit i.
+func (m *Mask32) Clear(i int) { *m &^= 1 << uint(i) }
+
+// Test reports bit i.
+func (m Mask32) Test(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Empty reports whether no bit is set.
+func (m Mask32) Empty() bool { return m == 0 }
+
+// Count returns the number of set bits.
+func (m Mask32) Count() int { return bits.OnesCount32(uint32(m)) }
+
+// Min returns the lowest set bit, or -1 when empty.
+func (m Mask32) Min() int {
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros32(uint32(m))
+}
+
+// Max returns the highest set bit, or -1 when empty.
+func (m Mask32) Max() int {
+	if m == 0 {
+		return -1
+	}
+	return 31 - bits.LeadingZeros32(uint32(m))
+}
+
+// Below returns the bits strictly below i (the "older than LSID i" mask).
+func (m Mask32) Below(i int) Mask32 { return m & (1<<uint(i) - 1) }
+
+// Above returns the bits strictly above i (the "younger than LSID i" mask).
+func (m Mask32) Above(i int) Mask32 { return m &^ (1<<uint(i+1) - 1) }
+
+// Mask128 is a 128-slot mask, indexed by instruction index within a block
+// (isa.MaxInsts = 128).
+type Mask128 [2]uint64
+
+// Set sets bit i.
+func (m *Mask128) Set(i int) { m[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (m *Mask128) Clear(i int) { m[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports bit i.
+func (m *Mask128) Test(i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Empty reports whether no bit is set.
+func (m *Mask128) Empty() bool { return m[0]|m[1] == 0 }
+
+// Count returns the number of set bits.
+func (m *Mask128) Count() int {
+	return bits.OnesCount64(m[0]) + bits.OnesCount64(m[1])
+}
+
+// Min returns the lowest set bit, or -1 when empty: the priority-encoder
+// step of bitmap pick-next (oldest instruction index first).
+func (m *Mask128) Min() int {
+	if m[0] != 0 {
+		return bits.TrailingZeros64(m[0])
+	}
+	if m[1] != 0 {
+		return 64 + bits.TrailingZeros64(m[1])
+	}
+	return -1
+}
+
+// Reset clears every bit.
+func (m *Mask128) Reset() { m[0], m[1] = 0, 0 }
+
+// Ring is a fixed-capacity bitset over a power-of-two ring of slots,
+// answering "first set slot at or after i, wrapping around" — the
+// oldest-block-first query over a frame ring whose base advances as blocks
+// commit.  Capacity is rounded up to a power of two and is at least 64 so
+// the single-word fast path (a rotate plus TrailingZeros) covers the
+// common configurations.
+type Ring struct {
+	words []uint64
+	size  int
+}
+
+// NewRing returns a ring with capacity for at least n slots.
+func NewRing(n int) Ring {
+	size := 64
+	for size < n {
+		size <<= 1
+	}
+	return Ring{words: make([]uint64, size>>6), size: size}
+}
+
+// Size returns the ring's capacity (a power of two; index with i & (Size()-1)).
+func (r *Ring) Size() int { return r.size }
+
+// Set sets slot i.
+func (r *Ring) Set(i int) { r.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears slot i.
+func (r *Ring) Clear(i int) { r.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports slot i.
+func (r *Ring) Test(i int) bool { return r.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Empty reports whether no slot is set.
+func (r *Ring) Empty() bool {
+	for _, w := range r.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set slots.
+func (r *Ring) Count() int {
+	n := 0
+	for _, w := range r.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// FirstFrom returns the first set slot in the cyclic order start, start+1,
+// ..., start-1 (mod Size), or -1 when the ring is empty.
+func (r *Ring) FirstFrom(start int) int {
+	if len(r.words) == 1 {
+		w := r.words[0]
+		if w == 0 {
+			return -1
+		}
+		// Rotate so bit `start` lands at bit 0; the trailing-zero count is
+		// then the cyclic distance to the first set slot.
+		rot := bits.RotateLeft64(w, -start)
+		return (start + bits.TrailingZeros64(rot)) & (r.size - 1)
+	}
+	wi, bi := start>>6, uint(start)&63
+	if w := r.words[wi] >> bi << bi; w != 0 {
+		return wi<<6 + bits.TrailingZeros64(w)
+	}
+	for k := 1; k <= len(r.words); k++ {
+		j := (wi + k) & (len(r.words) - 1)
+		if w := r.words[j]; w != 0 {
+			s := j<<6 + bits.TrailingZeros64(w)
+			if j == wi {
+				// Wrapped all the way back to the start word: only bits
+				// strictly below the start position remain eligible.
+				if uint(bits.TrailingZeros64(w)) >= bi {
+					return -1
+				}
+			}
+			return s
+		}
+	}
+	return -1
+}

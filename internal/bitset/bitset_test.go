@@ -1,0 +1,164 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMask32(t *testing.T) {
+	var m Mask32
+	if !m.Empty() || m.Min() != -1 || m.Max() != -1 || m.Count() != 0 {
+		t.Fatalf("zero mask: %v %d %d %d", m.Empty(), m.Min(), m.Max(), m.Count())
+	}
+	m.Set(0)
+	m.Set(31)
+	m.Set(7)
+	if m.Empty() || m.Count() != 3 || m.Min() != 0 || m.Max() != 31 {
+		t.Fatalf("after sets: count=%d min=%d max=%d", m.Count(), m.Min(), m.Max())
+	}
+	if !m.Test(7) || m.Test(8) {
+		t.Fatal("Test wrong")
+	}
+	if got := m.Below(8); got != 0b1000_0001 {
+		t.Fatalf("Below(8) = %#b", got)
+	}
+	if got := m.Below(0); got != 0 {
+		t.Fatalf("Below(0) = %#b", got)
+	}
+	if got := m.Above(7); got != 1<<31 {
+		t.Fatalf("Above(7) = %#b", got)
+	}
+	if got := m.Above(31); got != 0 {
+		t.Fatalf("Above(31) = %#b", got)
+	}
+	m.Clear(0)
+	if m.Min() != 7 {
+		t.Fatalf("min after clear = %d", m.Min())
+	}
+}
+
+func TestMask128Boundaries(t *testing.T) {
+	var m Mask128
+	if !m.Empty() || m.Min() != -1 {
+		t.Fatal("zero mask not empty")
+	}
+	// Single bit at every word-boundary position.
+	for _, i := range []int{0, 1, 63, 64, 65, 127} {
+		m.Reset()
+		m.Set(i)
+		if m.Min() != i || m.Count() != 1 || !m.Test(i) {
+			t.Fatalf("single bit %d: min=%d count=%d", i, m.Min(), m.Count())
+		}
+		m.Clear(i)
+		if !m.Empty() {
+			t.Fatalf("bit %d did not clear", i)
+		}
+	}
+	// Full mask: 128 in-flight instructions in one block.
+	for i := 0; i < 128; i++ {
+		m.Set(i)
+	}
+	if m.Count() != 128 {
+		t.Fatalf("full mask count = %d", m.Count())
+	}
+	for i := 0; i < 128; i++ {
+		if m.Min() != i {
+			t.Fatalf("drain at %d: min = %d", i, m.Min())
+		}
+		m.Clear(i)
+	}
+	if !m.Empty() {
+		t.Fatal("full mask did not drain")
+	}
+	// Min must prefer word 0 over word 1.
+	m.Reset()
+	m.Set(100)
+	m.Set(63)
+	if m.Min() != 63 {
+		t.Fatalf("cross-word min = %d", m.Min())
+	}
+}
+
+func TestRingFirstFromSingleWord(t *testing.T) {
+	r := NewRing(8) // rounds up to 64
+	if r.Size() != 64 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	if r.FirstFrom(0) != -1 || !r.Empty() {
+		t.Fatal("empty ring")
+	}
+	r.Set(5)
+	r.Set(60)
+	for start, want := range map[int]int{0: 5, 5: 5, 6: 60, 60: 60, 61: 5, 63: 5} {
+		if got := r.FirstFrom(start); got != want {
+			t.Errorf("FirstFrom(%d) = %d, want %d", start, got, want)
+		}
+	}
+	r.Clear(5)
+	if got := r.FirstFrom(61); got != 60 {
+		t.Errorf("wrap to only bit: FirstFrom(61) = %d, want 60", got)
+	}
+	if r.Count() != 1 {
+		t.Fatalf("count = %d", r.Count())
+	}
+}
+
+func TestRingFirstFromMultiWord(t *testing.T) {
+	r := NewRing(100) // rounds up to 128, two words
+	if r.Size() != 128 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	r.Set(70)
+	for start, want := range map[int]int{0: 70, 70: 70, 71: 70, 127: 70} {
+		if got := r.FirstFrom(start); got != want {
+			t.Errorf("FirstFrom(%d) = %d, want %d", start, got, want)
+		}
+	}
+	r.Set(3)
+	if got := r.FirstFrom(71); got != 3 {
+		t.Errorf("wrap across words: FirstFrom(71) = %d, want 3", got)
+	}
+	if got := r.FirstFrom(4); got != 70 {
+		t.Errorf("FirstFrom(4) = %d, want 70", got)
+	}
+	r.Clear(70)
+	r.Clear(3)
+	if got := r.FirstFrom(90); got != -1 {
+		t.Errorf("emptied ring FirstFrom = %d", got)
+	}
+}
+
+// TestRingFirstFromExhaustive cross-checks FirstFrom against a naive cyclic
+// scan for random occupancies over both the one-word and multi-word paths.
+func TestRingFirstFromExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{64, 128, 256} {
+		r := NewRing(size)
+		for trial := 0; trial < 200; trial++ {
+			// Random occupancy, including empty and near-full.
+			want := make([]bool, size)
+			n := rng.Intn(size + 1)
+			for i := range r.words {
+				r.words[i] = 0
+			}
+			for k := 0; k < n; k++ {
+				i := rng.Intn(size)
+				r.Set(i)
+				want[i] = true
+			}
+			for start := 0; start < size; start++ {
+				naive := -1
+				for k := 0; k < size; k++ {
+					if want[(start+k)%size] {
+						naive = (start + k) % size
+						break
+					}
+				}
+				if got := r.FirstFrom(start); got != naive {
+					t.Fatalf("size %d trial %d: FirstFrom(%d) = %d, want %d",
+						size, trial, start, got, naive)
+				}
+			}
+		}
+	}
+}

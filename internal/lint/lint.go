@@ -91,7 +91,7 @@ func DefaultConfig() Config {
 		DeterminismPkgs: []string{
 			"internal/sim", "internal/core", "internal/lsq", "internal/noc",
 			"internal/mem", "internal/predictor", "internal/cache", "internal/emu",
-			"internal/account", "internal/sched",
+			"internal/account", "internal/sched", "internal/bitset",
 			// The observability core must stay deterministic-when-off: it
 			// takes every timestamp from its caller and never spawns
 			// goroutines (the HTTP server lives in internal/obs/status,

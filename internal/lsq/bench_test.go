@@ -60,6 +60,72 @@ func BenchmarkViolationCheck(b *testing.B) {
 	}
 }
 
+// BenchmarkCertifyScan measures a full certification sweep that yields
+// nothing: seven blocks of address-final stores followed by a block of
+// candidate loads parked behind one address-pending store.  Every iteration
+// walks the whole candidate list and, per load, the mask-first older-store
+// filter across the full window before failing at the youngest block — the
+// steady-state cost of a commit wave that has not yet caught up.
+func BenchmarkCertifyScan(b *testing.B) {
+	q, _ := benchQueue(b, core.IssueAggressive)
+	stores := make([]OpInfo, 32)
+	for i := range stores {
+		stores[i] = OpInfo{LSID: int8(i), IsStore: true, Size: 8}
+	}
+	for seq := int64(0); seq < 7; seq++ {
+		q.RegisterBlock(seq, stores)
+		for i := 0; i < 32; i++ {
+			// Address committed, data pending: stays an alias candidate.
+			q.StoreUpdate(Key{seq, int8(i)}, uint64(0x1000+8*(seq*32+int64(i))), 1, 0, true, false)
+		}
+	}
+	mixed := make([]OpInfo, 32)
+	for i := range mixed {
+		mixed[i] = OpInfo{LSID: int8(i), IsStore: i == 0, Size: 8}
+	}
+	q.RegisterBlock(7, mixed)
+	q.StoreUpdate(Key{7, 0}, 0x8000, 1, 0, false, false) // address never final
+	for i := 1; i < 32; i++ {
+		k := Key{7, int8(i)}
+		q.LoadTry(0, k, uint64(0x9000+8*int64(i)), 0)
+		q.LoadInputsCommitted(k)
+	}
+	buf := make([]CertifiedLoad, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.certDirty = true // as a store commit would
+		buf = q.TakeCertifiable(buf[:0])
+		if len(buf) != 0 {
+			b.Fatal("no load should certify past the pending store")
+		}
+	}
+}
+
+// BenchmarkAliasSearch measures one older-store safety walk in the case
+// that certifies: a full window of address-final, data-pending stores, so
+// every block's occupancy mask survives the word-level filters and each
+// store must be proven non-overlapping address-by-address.
+func BenchmarkAliasSearch(b *testing.B) {
+	q, _ := benchQueue(b, core.IssueAggressive)
+	ops := make([]OpInfo, 32)
+	for i := range ops {
+		ops[i] = OpInfo{LSID: int8(i), IsStore: i < 31, Size: 8}
+	}
+	for seq := int64(0); seq < 8; seq++ {
+		q.RegisterBlock(seq, ops)
+		for i := 0; i < 31; i++ {
+			q.StoreUpdate(Key{seq, int8(i)}, uint64(0x1000+8*(seq*32+int64(i))), 1, 0, true, false)
+		}
+	}
+	load := Key{7, 31}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !q.olderStoresSafe(load, 0x9000, 8) {
+			b.Fatal("disjoint load should be safe")
+		}
+	}
+}
+
 // BenchmarkLoadIssue measures the end-to-end load path (policy check,
 // reconstruction, cache timing).
 func BenchmarkLoadIssue(b *testing.B) {

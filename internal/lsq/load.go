@@ -20,28 +20,30 @@ type LoadResult struct {
 // same load (a new address under DSRE) re-enter here and produce a fresh
 // reply.  now is the current cycle, used for MSHR accounting.
 func (q *Queue) LoadTry(now int64, k Key, addr uint64, tag core.Tag) LoadResult {
-	e := q.get(k)
-	if e == nil || e.isStore {
+	s, op := q.opSlot(k)
+	if s < 0 || q.stores[s].Test(op) {
 		return LoadResult{Deferred: true, Reason: DeferNone} // stale message for a squashed block
 	}
-	first := !e.hasExec
-	e.hasExec = true
-	e.addr = addr
+	f := s*opStride + op
+	first := !q.exec[s].Test(op)
+	q.exec[s].Set(op)
+	q.addr[f] = addr
 	if first {
 		q.Stats.Loads++
 	}
 	// Tag of the reply: never older than anything already sent for this
 	// load, so consumers accept the newest execution.
-	e.tag = core.MaxTag(e.tag, tag)
-	return q.tryIssue(now, e)
+	q.tag[f] = core.MaxTag(q.tag[f], tag)
+	return q.tryIssue(now, k, s, op)
 }
 
 // tryIssue applies the policy and, if permitted, produces the load's value.
-func (q *Queue) tryIssue(now int64, e *entry) LoadResult {
-	if reason := q.mustDefer(e); reason != DeferNone {
-		if !e.deferred {
-			e.deferred = true
-			q.deferred = append(q.deferred, e.key)
+func (q *Queue) tryIssue(now int64, k Key, s, op int) LoadResult {
+	f := s*opStride + op
+	if reason := q.mustDefer(k, s, op); reason != DeferNone {
+		if !q.parked[s].Test(op) {
+			q.parked[s].Set(op)
+			q.deferred = append(q.deferred, k)
 		}
 		if reason == DeferPolicy {
 			q.Stats.DeferredPolicy++
@@ -50,17 +52,18 @@ func (q *Queue) tryIssue(now int64, e *entry) LoadResult {
 		}
 		return LoadResult{Deferred: true, Reason: reason}
 	}
-	v, fwd := q.reconstruct(e.key, e.addr, e.size)
+	size := int(q.size[f])
+	v, fwd := q.reconstruct(k, q.addr[f], size)
 	lat := q.cfg.ForwardLatency
-	if fwd == e.size {
+	if fwd == size {
 		q.Stats.Forwards++
 	} else {
-		clat, ok := q.hier.DataAccess(now, e.addr, false)
+		clat, ok := q.hier.DataAccess(now, q.addr[f], false)
 		if !ok {
 			// All MSHRs busy: park and retry as time passes.
-			if !e.deferred {
-				e.deferred = true
-				q.deferred = append(q.deferred, e.key)
+			if !q.parked[s].Test(op) {
+				q.parked[s].Set(op)
+				q.deferred = append(q.deferred, k)
 			}
 			q.mshrWait = true
 			q.Stats.DeferredMSHR++
@@ -73,12 +76,12 @@ func (q *Queue) tryIssue(now int64, e *entry) LoadResult {
 			q.Stats.PartialForwards++
 		}
 	}
-	e.issued = true
-	e.deferred = false
-	e.data = v
+	q.issued[s].Set(op)
+	q.parked[s].Clear(op)
+	q.data[f] = v
 	// Issuing is one of the conditions certification waits on.
 	q.certDirty = true
-	return LoadResult{Value: v, Tag: e.tag, Latency: lat, PC: e.pc}
+	return LoadResult{Value: v, Tag: q.tag[f], Latency: lat, PC: q.pc[f]}
 }
 
 // GuardLoad marks a flushed violating load: its replayed instance (same
@@ -89,28 +92,29 @@ func (q *Queue) GuardLoad(k Key) {
 }
 
 // mustDefer evaluates the issue policy for a load whose address is known.
-func (q *Queue) mustDefer(e *entry) DeferReason {
-	if q.guard[e.key] && q.anyOlderStoreUnexecuted(e.key) {
+func (q *Queue) mustDefer(k Key, s, op int) DeferReason {
+	if q.guard[k] && q.anyOlderStoreUnexecuted(k) {
 		return DeferPolicy
 	}
 	switch q.cfg.Policy {
 	case core.IssueAggressive:
 		return DeferNone
 	case core.IssueConservative:
-		if q.anyOlderStoreUnexecuted(e.key) {
+		if q.anyOlderStoreUnexecuted(k) {
 			return DeferPolicy
 		}
 		return DeferNone
 	case core.IssueStoreSet, core.IssueOracle:
-		if !e.waitValid || !e.waitFor.Valid() {
+		f := s*opStride + op
+		if !q.waitValid[s].Test(op) || !q.waitFor[f].Valid() {
 			return DeferNone
 		}
-		w := Key{Seq: e.waitFor.Seq, LSID: e.waitFor.LSID}
-		if !w.Less(e.key) {
+		w := Key{Seq: q.waitFor[f].Seq, LSID: q.waitFor[f].LSID}
+		if !w.Less(k) {
 			return DeferNone // not actually older; ignore
 		}
-		s := q.get(w)
-		if s == nil || !s.isStore || s.hasExec {
+		ws, wop := q.opSlot(w)
+		if ws < 0 || !q.stores[ws].Test(wop) || q.exec[ws].Test(wop) {
 			return DeferNone // gone from the window, or already executed
 		}
 		return DeferPolicy
@@ -119,20 +123,25 @@ func (q *Queue) mustDefer(e *entry) DeferReason {
 }
 
 // anyOlderStoreUnexecuted reports whether some store older than k in the
-// window has not yet executed.
+// window has not yet executed: one AND-NOT word test per block (the
+// bitmap replacement for the old per-entry scan).
 func (q *Queue) anyOlderStoreUnexecuted(k Key) bool {
-	for _, b := range q.blocks {
-		if b.seq > k.Seq {
-			return false
+	if q.n == 0 {
+		return false
+	}
+	base := q.seqs[q.head]
+	last := k.Seq - base
+	if last >= int64(q.n) {
+		last = int64(q.n) - 1
+	}
+	for l := int64(0); l <= last; l++ {
+		s := (q.head + int(l)) & q.ringMask()
+		pend := q.stores[s] &^ q.exec[s]
+		if base+l == k.Seq {
+			pend = pend.Below(int(k.LSID))
 		}
-		for i := range b.ops {
-			s := &b.ops[i]
-			if !s.isStore || !s.key.Less(k) {
-				continue
-			}
-			if !s.hasExec {
-				return true
-			}
+		if !pend.Empty() {
+			return true
 		}
 	}
 	return false
@@ -161,16 +170,16 @@ func (q *Queue) TakeReady(now int64, buf []ReadyLoad) []ReadyLoad {
 	out := buf
 	kept := q.deferred[:0]
 	for _, k := range q.deferred {
-		e := q.get(k)
-		if e == nil || !e.deferred {
+		s, op := q.opSlot(k)
+		if s < 0 || !q.parked[s].Test(op) {
 			continue // squashed or already issued
 		}
-		r := q.tryIssue(now, e)
+		r := q.tryIssue(now, k, s, op)
 		if r.Deferred {
 			kept = append(kept, k)
 			continue
 		}
-		out = append(out, ReadyLoad{Load: k, Addr: e.addr, Res: r})
+		out = append(out, ReadyLoad{Load: k, Addr: q.addr[s*opStride+op], Res: r})
 	}
 	q.deferred = kept
 	return out
@@ -180,11 +189,11 @@ func (q *Queue) TakeReady(now int64, buf []ReadyLoad) []ReadyLoad {
 // commit wave reached its inputs); the load becomes a certification
 // candidate.
 func (q *Queue) LoadInputsCommitted(k Key) {
-	e := q.get(k)
-	if e == nil || e.isStore || e.inputsCommitted {
+	s, op := q.opSlot(k)
+	if s < 0 || q.stores[s].Test(op) || q.inputsCom[s].Test(op) {
 		return
 	}
-	e.inputsCommitted = true
+	q.inputsCom[s].Set(op)
 	q.certCand = append(q.certCand, k)
 	q.dirty = true
 	q.certDirty = true
@@ -213,23 +222,25 @@ func (q *Queue) TakeCertifiable(buf []CertifiedLoad) []CertifiedLoad {
 	out := buf
 	kept := q.certCand[:0]
 	for _, k := range q.certCand {
-		e := q.get(k)
-		if e == nil {
+		s, op := q.opSlot(k)
+		if s < 0 {
 			continue
 		}
-		if e.certified {
+		if q.certified[s].Test(op) {
 			continue
 		}
-		if !e.issued || !q.olderStoresSafe(e) {
+		f := s*opStride + op
+		laddr, lsize := q.addr[f], int(q.size[f])
+		if !q.issued[s].Test(op) || !q.olderStoresSafe(k, laddr, lsize) {
 			kept = append(kept, k)
 			continue
 		}
-		v, _ := q.reconstruct(k, e.addr, e.size)
-		if v != e.data {
+		v, _ := q.reconstruct(k, laddr, lsize)
+		if v != q.data[f] {
 			panic("lsq: certification value mismatch for " + k.String() + " (missed violation)")
 		}
-		e.certified = true
-		out = append(out, CertifiedLoad{Load: k, Addr: e.addr, Value: v})
+		q.certified[s].Set(op)
+		out = append(out, CertifiedLoad{Load: k, Addr: laddr, Value: v})
 	}
 	q.certCand = kept
 	return out
@@ -240,34 +251,39 @@ func (q *Queue) TakeCertifiable(buf []CertifiedLoad) []CertifiedLoad {
 // committed (final) address that provably does not overlap the load.  The
 // second case is what keeps the commit wave's memory leg from serialising
 // on false dependences: only true aliases wait for store data.
-func (q *Queue) olderStoresSafe(l *entry) bool {
-	k := l.key
-	for _, b := range q.blocks {
-		if b.seq > k.Seq {
+//
+// The scan is mask-first: per block, the uncommitted-store candidates are
+// one AND-NOT, the "address provably final and live" filter is one more
+// word expression, and only candidates surviving both reach the per-bit
+// address-overlap check.
+func (q *Queue) olderStoresSafe(k Key, laddr uint64, lsize int) bool {
+	base := q.seqs[q.head]
+	for l := int64(0); ; l++ {
+		bseq := base + l
+		if bseq > k.Seq || l >= int64(q.n) {
 			return true
 		}
-		inOwn := b.seq == k.Seq
-		if !inOwn && b.uncommittedStores == 0 {
+		s := (q.head + int(l)) & q.ringMask()
+		cand := q.stores[s] &^ q.committed[s]
+		if bseq == k.Seq {
+			cand = cand.Below(int(k.LSID))
+		}
+		if cand.Empty() {
 			continue
 		}
-		for i := range b.ops {
-			s := &b.ops[i]
-			if !s.isStore || !s.key.Less(k) {
-				if inOwn && !s.key.Less(k) {
-					break
-				}
-				continue
-			}
-			if s.committed {
-				continue
-			}
-			if s.addrCommitted && s.hasExec && !s.null && !overlap(s.addr, s.size, l.addr, l.size) {
-				continue
-			}
+		safeAddr := q.addrCom[s] & q.exec[s] &^ q.null[s]
+		if !(cand &^ safeAddr).Empty() {
 			return false
 		}
+		fb := s * opStride
+		for m := cand; !m.Empty(); {
+			i := m.Min()
+			m.Clear(i)
+			if overlap(q.addr[fb+i], int(q.size[fb+i]), laddr, lsize) {
+				return false
+			}
+		}
 	}
-	return true
 }
 
 // Occupancy returns the number of resident entries (for stats).

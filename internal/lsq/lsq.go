@@ -18,16 +18,33 @@
 //   - the memory leg of the commit wave: a load certifies (may send commit
 //     tokens) only when its address is final and every older store is
 //     committed.
+//
+// Layout: the queue is a structure-of-arrays window.  Blocks occupy a
+// power-of-two ring of slots in ascending-sequence order (sequences are
+// contiguous: the simulator registers every mapped block and removes them
+// only by committing the head or squashing a suffix), so a block lookup is
+// "seq − base" arithmetic, never a map.  Per-op dynamic state lives in one
+// bitset.Mask32 per block per predicate (declared-store, executed, null,
+// committed, issued, ...) plus flat stride-32 arrays for the word-sized
+// fields (addr, data, tag, ...).  Certification and alias search walk only
+// set bits (bits.TrailingZeros under the hood) instead of scanning every
+// entry, and the policy predicate "any older store unexecuted" collapses
+// to one AND-NOT word test per block.
 package lsq
 
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/predictor"
 )
+
+// opStride is the per-block op-array stride: the ISA's LSID space.
+const opStride = isa.MaxMemOps
 
 // Key orders dynamic memory operations: block sequence first, then LSID.
 type Key struct {
@@ -108,41 +125,6 @@ type Config struct {
 	ViolationLatency int
 }
 
-type entry struct {
-	key     Key
-	pc      predictor.PC
-	isStore bool
-	size    int
-
-	// Dynamic state (latest execution).
-	hasExec bool
-	null    bool
-	addr    uint64
-	data    int64 // store data, or the load's last returned value
-	tag     core.Tag
-
-	// Load state.
-	issued          bool
-	deferred        bool
-	waitFor         predictor.DynRef
-	waitValid       bool // waitFor was captured
-	inputsCommitted bool
-	certified       bool
-
-	// Store commit state.  addrCommitted/dataCommitted arrive separately
-	// (the commit wave reaches the address and data operands independently);
-	// committed means both, or a committed null.
-	addrCommitted bool
-	dataCommitted bool
-	committed     bool
-}
-
-type blockOps struct {
-	seq               int64
-	ops               []entry // indexed by LSID (dense from validator)
-	uncommittedStores int
-}
-
 // Queue is the load/store queue.
 type Queue struct {
 	cfg    Config
@@ -152,12 +134,42 @@ type Queue struct {
 	ss     *predictor.StoreSet
 	oracle *predictor.Oracle
 
-	blocks   []*blockOps // ascending seq
-	bySeq    map[int64]*blockOps
-	resident int // entries across blocks, maintained incrementally (occupancy is read every cycle)
-	// free recycles drained/squashed blockOps (and their entry arrays) so
-	// steady-state block turnover does not allocate.
-	free []*blockOps
+	// Block window: a power-of-two ring of block slots in ascending-
+	// sequence order.  head is the physical slot of the oldest block, n
+	// the live count; the block with sequence s lives at physical slot
+	// (head + (s − seqs[head])) & (cap−1).  Drain advances head (O(1));
+	// squash truncates n.
+	head int
+	n    int
+
+	// Per-block state, indexed by physical slot.
+	seqs []int64
+	nops []uint8
+
+	// Per-block LSID occupancy masks — the bitmaps certification and alias
+	// search walk.  stores is fixed at registration; the rest track the
+	// old per-entry booleans bit for bit.
+	stores    []bitset.Mask32 // declared store ops
+	exec      []bitset.Mask32 // executed at least once
+	null      []bitset.Mask32 // predicated off (stores)
+	committed []bitset.Mask32 // store output final
+	addrCom   []bitset.Mask32 // store address operand committed
+	dataCom   []bitset.Mask32 // store data operand committed
+	issued    []bitset.Mask32 // load produced a value
+	certified []bitset.Mask32 // load certified (value final)
+	inputsCom []bitset.Mask32 // load address operands committed
+	parked    []bitset.Mask32 // load on the deferred list
+	waitValid []bitset.Mask32 // waitFor captured at registration
+
+	// Flat per-op fields, stride opStride, indexed slot*opStride + LSID.
+	addr    []uint64
+	data    []int64 // store data, or the load's last returned value
+	tag     []core.Tag
+	size    []uint8
+	pc      []predictor.PC
+	waitFor []predictor.DynRef
+
+	resident int // ops across blocks (occupancy is read every cycle)
 
 	deferred []Key // parked loads, re-evaluated when dirty
 	dirty    bool
@@ -168,7 +180,7 @@ type Queue struct {
 	// nullifies or leaves the window, a load issues, or a new candidate
 	// arrives — every such mutation sets it.  A scan that yields nothing has
 	// no side effects, so skipping it while the flag is clear is
-	// behaviour-identical and avoids an O(loads × stores) rescan per cycle.
+	// behaviour-identical and avoids a rescan per cycle.
 	certDirty bool
 
 	// guard holds dynamic loads that violated and were flushed: their
@@ -196,76 +208,149 @@ func New(cfg Config, m *mem.Memory, hier *cache.Hierarchy, tags *core.TagSource,
 	if cfg.ViolationLatency <= 0 {
 		cfg.ViolationLatency = 1
 	}
-	return &Queue{
+	q := &Queue{
 		cfg:    cfg,
 		mem:    m,
 		hier:   hier,
 		tags:   tags,
 		ss:     ss,
 		oracle: oracle,
-		bySeq:  make(map[int64]*blockOps),
 		guard:  make(map[Key]bool),
 	}
+	q.grow(16)
+	return q
 }
 
-// takeBlockOps pops a recycled blockOps (or allocates one) with a cleared
-// entry slice of length n.
-func (q *Queue) takeBlockOps(n int) *blockOps {
-	if len(q.free) == 0 {
-		return &blockOps{ops: make([]entry, n)}
+// grow (re)allocates the block ring with capacity c (a power of two),
+// relocating live blocks so the oldest lands at slot 0.
+func (q *Queue) grow(c int) {
+	old := *q
+	q.seqs = make([]int64, c)
+	q.nops = make([]uint8, c)
+	masks := make([]bitset.Mask32, 11*c)
+	q.stores, masks = masks[:c:c], masks[c:]
+	q.exec, masks = masks[:c:c], masks[c:]
+	q.null, masks = masks[:c:c], masks[c:]
+	q.committed, masks = masks[:c:c], masks[c:]
+	q.addrCom, masks = masks[:c:c], masks[c:]
+	q.dataCom, masks = masks[:c:c], masks[c:]
+	q.issued, masks = masks[:c:c], masks[c:]
+	q.certified, masks = masks[:c:c], masks[c:]
+	q.inputsCom, masks = masks[:c:c], masks[c:]
+	q.parked, masks = masks[:c:c], masks[c:]
+	q.waitValid = masks[:c:c]
+	q.addr = make([]uint64, c*opStride)
+	q.data = make([]int64, c*opStride)
+	q.tag = make([]core.Tag, c*opStride)
+	q.size = make([]uint8, c*opStride)
+	q.pc = make([]predictor.PC, c*opStride)
+	q.waitFor = make([]predictor.DynRef, c*opStride)
+	for l := 0; l < old.n; l++ {
+		s := (old.head + l) & (len(old.seqs) - 1)
+		q.seqs[l] = old.seqs[s]
+		q.nops[l] = old.nops[s]
+		q.stores[l] = old.stores[s]
+		q.exec[l] = old.exec[s]
+		q.null[l] = old.null[s]
+		q.committed[l] = old.committed[s]
+		q.addrCom[l] = old.addrCom[s]
+		q.dataCom[l] = old.dataCom[s]
+		q.issued[l] = old.issued[s]
+		q.certified[l] = old.certified[s]
+		q.inputsCom[l] = old.inputsCom[s]
+		q.parked[l] = old.parked[s]
+		q.waitValid[l] = old.waitValid[s]
+		copy(q.addr[l*opStride:(l+1)*opStride], old.addr[s*opStride:(s+1)*opStride])
+		copy(q.data[l*opStride:(l+1)*opStride], old.data[s*opStride:(s+1)*opStride])
+		copy(q.tag[l*opStride:(l+1)*opStride], old.tag[s*opStride:(s+1)*opStride])
+		copy(q.size[l*opStride:(l+1)*opStride], old.size[s*opStride:(s+1)*opStride])
+		copy(q.pc[l*opStride:(l+1)*opStride], old.pc[s*opStride:(s+1)*opStride])
+		copy(q.waitFor[l*opStride:(l+1)*opStride], old.waitFor[s*opStride:(s+1)*opStride])
 	}
-	b := q.free[len(q.free)-1]
-	q.free[len(q.free)-1] = nil
-	q.free = q.free[:len(q.free)-1]
-	if cap(b.ops) < n {
-		b.ops = make([]entry, n)
-	} else {
-		b.ops = b.ops[:n]
-		clear(b.ops)
-	}
-	b.uncommittedStores = 0
-	return b
+	q.head = 0
 }
 
-func (q *Queue) releaseBlockOps(b *blockOps) {
-	q.free = append(q.free, b)
+// ringMask indexes the block ring.
+func (q *Queue) ringMask() int { return len(q.seqs) - 1 }
+
+// slot returns the physical block slot holding seq, or -1 when seq is not
+// resident (drained, squashed, or never registered).
+func (q *Queue) slot(seq int64) int {
+	if q.n == 0 {
+		return -1
+	}
+	i := seq - q.seqs[q.head]
+	if i < 0 || i >= int64(q.n) {
+		return -1
+	}
+	return (q.head + int(i)) & q.ringMask()
+}
+
+// opSlot resolves a key to its block slot and op index, or (-1, 0) when the
+// key names no resident op.
+func (q *Queue) opSlot(k Key) (slot, op int) {
+	s := q.slot(k.Seq)
+	if s < 0 || int(k.LSID) >= int(q.nops[s]) {
+		return -1, 0
+	}
+	return s, int(k.LSID)
 }
 
 // RegisterBlock reserves entries for a block's memory operations at map
-// time.  Blocks must be registered in ascending sequence order.
+// time.  Blocks must be registered in ascending, contiguous sequence order
+// (the simulator maps every block through here, so "seq − base" indexing
+// holds by construction).
 func (q *Queue) RegisterBlock(seq int64, ops []OpInfo) {
-	if len(q.blocks) > 0 && q.blocks[len(q.blocks)-1].seq >= seq {
-		panic(fmt.Sprintf("lsq: block %d registered after %d", seq, q.blocks[len(q.blocks)-1].seq))
+	if q.n > 0 {
+		last := q.seqs[(q.head+q.n-1)&q.ringMask()]
+		if last >= seq {
+			panic(fmt.Sprintf("lsq: block %d registered after %d", seq, last))
+		}
+		if seq != last+1 {
+			panic(fmt.Sprintf("lsq: block %d not contiguous after %d", seq, last))
+		}
 	}
-	b := q.takeBlockOps(len(ops))
-	b.seq = seq
+	if q.n == len(q.seqs) {
+		q.grow(2 * len(q.seqs))
+	}
+	s := (q.head + q.n) & q.ringMask()
+	q.n++
+	q.seqs[s] = seq
+	q.nops[s] = uint8(len(ops))
+	q.stores[s], q.exec[s], q.null[s] = 0, 0, 0
+	q.committed[s], q.addrCom[s], q.dataCom[s] = 0, 0, 0
+	q.issued[s], q.certified[s], q.inputsCom[s] = 0, 0, 0
+	q.parked[s], q.waitValid[s] = 0, 0
+	base := s * opStride
+	end := base + len(ops)
+	clear(q.addr[base:end])
+	clear(q.data[base:end])
+	clear(q.tag[base:end])
 	for i, op := range ops {
 		if int(op.LSID) != i {
 			panic(fmt.Sprintf("lsq: block %d ops not dense at %d", seq, i))
 		}
-		e := entry{key: Key{seq, op.LSID}, pc: op.PC, isStore: op.IsStore, size: op.Size}
+		q.size[base+i] = uint8(op.Size)
+		q.pc[base+i] = op.PC
 		ref := predictor.DynRef{Seq: seq, LSID: op.LSID}
 		// Dependence capture happens here, in LSID (dispatch) order, so a
 		// load's LFST lookup sees exactly the stores older than it — the
 		// in-order dispatch semantics of the store-set design.
 		switch {
 		case op.IsStore:
-			b.uncommittedStores++
+			q.stores[s].Set(i)
 			if q.ss != nil {
 				q.ss.StoreFetched(op.PC, ref)
 			}
 		case q.cfg.Policy == core.IssueStoreSet && q.ss != nil:
-			e.waitFor = q.ss.LoadDependence(op.PC)
-			e.waitValid = true
+			q.waitFor[base+i] = q.ss.LoadDependence(op.PC)
+			q.waitValid[s].Set(i)
 		case q.cfg.Policy == core.IssueOracle && q.oracle != nil:
-			e.waitFor = q.oracle.LoadDependence(ref)
-			e.waitValid = true
+			q.waitFor[base+i] = q.oracle.LoadDependence(ref)
+			q.waitValid[s].Set(i)
 		}
-		b.ops[i] = e
 	}
-	q.blocks = append(q.blocks, b)
-	q.bySeq[seq] = b
-	q.resident += len(b.ops)
+	q.resident += len(ops)
 	if q.resident > q.Stats.PeakOccupancy {
 		q.Stats.PeakOccupancy = q.resident
 	}
@@ -273,30 +358,20 @@ func (q *Queue) RegisterBlock(seq int64, ops []OpInfo) {
 
 func (q *Queue) occupancy() int { return q.resident }
 
-func (q *Queue) get(k Key) *entry {
-	b := q.bySeq[k.Seq]
-	if b == nil || int(k.LSID) >= len(b.ops) {
-		return nil
-	}
-	return &b.ops[k.LSID]
-}
-
 // SquashFrom removes every block with sequence >= seq.
 func (q *Queue) SquashFrom(seq int64) {
-	kept := q.blocks[:0]
-	for _, b := range q.blocks {
-		if b.seq >= seq {
-			delete(q.bySeq, b.seq)
-			q.resident -= len(b.ops)
-			q.releaseBlockOps(b)
-		} else {
-			kept = append(kept, b)
+	if q.n > 0 {
+		cut := seq - q.seqs[q.head]
+		if cut < 0 {
+			cut = 0
+		}
+		for l := int(cut); l < q.n; l++ {
+			q.resident -= int(q.nops[(q.head+l)&q.ringMask()])
+		}
+		if int64(q.n) > cut {
+			q.n = int(cut)
 		}
 	}
-	for i := len(kept); i < len(q.blocks); i++ {
-		q.blocks[i] = nil
-	}
-	q.blocks = kept
 	q.filterKeys(&q.deferred, seq)
 	q.filterKeys(&q.certCand, seq)
 	q.dirty = true

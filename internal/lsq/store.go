@@ -12,30 +12,32 @@ import (
 // under (zero when un-speculative); violations it exposes carry it as
 // StoreTag so forensics can chain wave depths.
 func (q *Queue) StoreUpdate(k Key, addr uint64, data int64, tag core.Tag, addrCom, dataCom bool) []Violation {
-	e := q.get(k)
-	if e == nil || !e.isStore {
+	s, op := q.opSlot(k)
+	if s < 0 || !q.stores[s].Test(op) {
 		return nil // stale message for a squashed block
 	}
-	first := !e.hasExec
-	oldAddr, oldSize, wasLive := e.addr, e.size, e.hasExec && !e.null
-	e.hasExec = true
-	e.null = false
-	e.addr = addr
-	e.data = data
-	e.tag = tag
-	if addrCom && !e.addrCommitted {
-		e.addrCommitted = true
+	f := s*opStride + op
+	first := !q.exec[s].Test(op)
+	oldAddr, oldSize := q.addr[f], int(q.size[f])
+	wasLive := q.exec[s].Test(op) && !q.null[s].Test(op)
+	q.exec[s].Set(op)
+	q.null[s].Clear(op)
+	q.addr[f] = addr
+	q.data[f] = data
+	q.tag[f] = tag
+	if addrCom {
+		q.addrCom[s].Set(op)
 	}
-	if dataCom && !e.dataCommitted {
-		e.dataCommitted = true
+	if dataCom {
+		q.dataCom[s].Set(op)
 	}
-	if e.addrCommitted && e.dataCommitted {
-		q.markStoreCommitted(e)
+	if q.addrCom[s].Test(op) && q.dataCom[s].Test(op) {
+		q.markStoreCommitted(s, op)
 	}
 	if first {
 		q.Stats.Stores++
 		if q.ss != nil {
-			q.ss.StoreDone(e.pc, predictor.DynRef{Seq: k.Seq, LSID: k.LSID})
+			q.ss.StoreDone(q.pc[f], predictor.DynRef{Seq: k.Seq, LSID: k.LSID})
 		}
 	}
 	q.dirty = true
@@ -43,9 +45,10 @@ func (q *Queue) StoreUpdate(k Key, addr uint64, data int64, tag core.Tag, addrCo
 
 	// Affected range: where the store's bytes used to land plus where they
 	// land now.
+	size := int(q.size[f])
 	var vs []Violation
-	vs = q.recheckLoads(k, addr, e.size, vs)
-	if wasLive && (oldAddr != addr || oldSize != e.size) {
+	vs = q.recheckLoads(k, addr, size, vs)
+	if wasLive && (oldAddr != addr || oldSize != size) {
 		vs = q.recheckLoads(k, oldAddr, oldSize, vs)
 	}
 	if len(vs) == 0 && !first {
@@ -58,18 +61,20 @@ func (q *Queue) StoreUpdate(k Key, addr uint64, data int64, tag core.Tag, addrCo
 // Loads that had forwarded from a previous (mis-speculated) execution of
 // this store must be re-checked.
 func (q *Queue) StoreNullify(k Key) []Violation {
-	e := q.get(k)
-	if e == nil || !e.isStore {
+	s, op := q.opSlot(k)
+	if s < 0 || !q.stores[s].Test(op) {
 		return nil
 	}
-	first := !e.hasExec
-	oldAddr, oldSize, wasLive := e.addr, e.size, e.hasExec && !e.null
-	e.hasExec = true
-	e.null = true
+	f := s*opStride + op
+	first := !q.exec[s].Test(op)
+	oldAddr, oldSize := q.addr[f], int(q.size[f])
+	wasLive := q.exec[s].Test(op) && !q.null[s].Test(op)
+	q.exec[s].Set(op)
+	q.null[s].Set(op)
 	if first {
 		q.Stats.Stores++
 		if q.ss != nil {
-			q.ss.StoreDone(e.pc, predictor.DynRef{Seq: k.Seq, LSID: k.LSID})
+			q.ss.StoreDone(q.pc[f], predictor.DynRef{Seq: k.Seq, LSID: k.LSID})
 		}
 	}
 	q.dirty = true
@@ -82,43 +87,55 @@ func (q *Queue) StoreNullify(k Key) []Violation {
 
 // recheckLoads re-reconstructs every younger issued load overlapping
 // [addr, addr+size) and emits violations for those whose value changed.
+// Candidate loads per block are one mask expression (issued, not a store,
+// younger than the store in its own block); the walk touches only set bits
+// in ascending (violation-report) order.
 func (q *Queue) recheckLoads(store Key, addr uint64, size int, vs []Violation) []Violation {
 	if size == 0 {
 		return vs
 	}
-	se := q.get(store)
-	storePC, storeTag := se.pc, se.tag
-	for _, b := range q.blocks {
-		if b.seq < store.Seq {
-			continue
+	ss, sop := q.opSlot(store)
+	sf := ss*opStride + sop
+	storePC, storeTag := q.pc[sf], q.tag[sf]
+	base := q.seqs[q.head]
+	start := store.Seq - base
+	if start < 0 {
+		start = 0
+	}
+	for l := start; l < int64(q.n); l++ {
+		s := (q.head + int(l)) & q.ringMask()
+		cands := q.issued[s] &^ q.stores[s]
+		if base+l == store.Seq {
+			cands = cands.Above(int(store.LSID))
 		}
-		for i := range b.ops {
-			l := &b.ops[i]
-			if l.isStore || !l.issued || !store.Less(l.key) {
+		fb := s * opStride
+		for m := cands; !m.Empty(); {
+			i := m.Min()
+			m.Clear(i)
+			f := fb + i
+			if !overlap(q.addr[f], int(q.size[f]), addr, size) {
 				continue
 			}
-			if !overlap(l.addr, l.size, addr, size) {
+			lk := Key{Seq: base + l, LSID: int8(i)}
+			v, _ := q.reconstruct(lk, q.addr[f], int(q.size[f]))
+			if v == q.data[f] {
 				continue
 			}
-			v, _ := q.reconstruct(l.key, l.addr, l.size)
-			if v == l.data {
-				continue
+			if q.certified[s].Test(i) {
+				panic("lsq: certified load " + lk.String() + " violated by store " + store.String() + " (unsound certification)")
 			}
-			if l.certified {
-				panic("lsq: certified load " + l.key.String() + " violated by store " + store.String() + " (unsound certification)")
-			}
-			l.data = v
-			l.tag = q.tags.Next()
+			q.data[f] = v
+			q.tag[f] = q.tags.Next()
 			q.Stats.Violations++
 			if q.ss != nil {
-				q.ss.Violation(l.pc, storePC)
+				q.ss.Violation(q.pc[f], storePC)
 			}
 			vs = append(vs, Violation{
-				Load:     l.key,
-				Addr:     l.addr,
+				Load:     lk,
+				Addr:     q.addr[f],
 				Value:    v,
-				Tag:      l.tag,
-				LoadPC:   l.pc,
+				Tag:      q.tag[f],
+				LoadPC:   q.pc[f],
 				StorePC:  storePC,
 				StoreTag: storeTag,
 			})
@@ -130,32 +147,45 @@ func (q *Queue) recheckLoads(store Key, addr uint64, size int, vs []Violation) [
 // reconstruct assembles the value a load at key sees: for each byte, the
 // youngest older live store covering it wins; uncovered bytes come from
 // committed memory.  forwarded is the number of bytes supplied by stores.
+// The youngest-first walk iterates live-store masks high-bit-first, so
+// only executed, non-null stores are ever touched.
 func (q *Queue) reconstruct(k Key, addr uint64, size int) (val int64, forwarded int) {
 	var bytes [8]byte
 	var have [8]bool
 	remaining := size
 
+	var base int64
+	if q.n > 0 {
+		base = q.seqs[q.head]
+	}
+	top := k.Seq - base
+	if top >= int64(q.n) {
+		top = int64(q.n) - 1
+	}
 	// Walk blocks youngest-to-oldest up to the load's block.
-	for bi := len(q.blocks) - 1; bi >= 0 && remaining > 0; bi-- {
-		b := q.blocks[bi]
-		if b.seq > k.Seq {
-			continue
+	for l := top; l >= 0 && remaining > 0; l-- {
+		s := (q.head + int(l)) & q.ringMask()
+		live := q.stores[s] & q.exec[s] &^ q.null[s]
+		if base+l == k.Seq {
+			live = live.Below(int(k.LSID))
 		}
-		for si := len(b.ops) - 1; si >= 0 && remaining > 0; si-- {
-			s := &b.ops[si]
-			if !s.isStore || !s.hasExec || s.null || !s.key.Less(k) {
+		fb := s * opStride
+		for m := live; !m.Empty() && remaining > 0; {
+			si := m.Max()
+			m.Clear(si)
+			f := fb + si
+			saddr, ssize := q.addr[f], int(q.size[f])
+			if !overlap(addr, size, saddr, ssize) {
 				continue
 			}
-			if !overlap(addr, size, s.addr, s.size) {
-				continue
-			}
+			sdata := uint64(q.data[f])
 			for i := 0; i < size; i++ {
 				if have[i] {
 					continue
 				}
 				ba := addr + uint64(i)
-				if ba >= s.addr && ba < s.addr+uint64(s.size) {
-					bytes[i] = byte(uint64(s.data) >> (8 * (ba - s.addr)))
+				if ba >= saddr && ba < saddr+uint64(ssize) {
+					bytes[i] = byte(sdata >> (8 * (ba - saddr)))
 					have[i] = true
 					remaining--
 				}
@@ -178,71 +208,69 @@ func (q *Queue) reconstruct(k Key, addr uint64, size int) (val int64, forwarded 
 // is the memory leg of the commit wave: younger loads may certify once all
 // their older stores are committed.
 func (q *Queue) StoreCommitted(k Key) {
-	e := q.get(k)
-	if e == nil || !e.isStore {
+	s, op := q.opSlot(k)
+	if s < 0 || !q.stores[s].Test(op) {
 		return
 	}
-	q.markStoreCommitted(e)
+	q.markStoreCommitted(s, op)
 }
 
-func (q *Queue) markStoreCommitted(e *entry) {
-	if e.committed {
+func (q *Queue) markStoreCommitted(s, op int) {
+	if q.committed[s].Test(op) {
 		return
 	}
-	e.committed = true
-	e.addrCommitted = true
-	e.dataCommitted = true
-	if b := q.bySeq[e.key.Seq]; b != nil {
-		b.uncommittedStores--
-	}
+	q.committed[s].Set(op)
+	q.addrCom[s].Set(op)
+	q.dataCom[s].Set(op)
 	q.dirty = true
 	q.certDirty = true
 }
 
 // Drain applies the oldest block's stores to committed memory in LSID
 // order, removes the block's entries, and returns the number of memory
-// writes performed (for cache-drain accounting by the caller).
+// writes performed (for cache-drain accounting by the caller).  Removal is
+// O(1): the block ring's head advances; nothing is copied.
 func (q *Queue) Drain(seq int64) int {
-	b := q.bySeq[seq]
-	if b == nil {
+	s := q.slot(seq)
+	if s < 0 {
 		return 0
 	}
-	if len(q.blocks) == 0 || q.blocks[0].seq != seq {
+	if s != q.head {
 		panic("lsq: drain of non-oldest block")
 	}
 	writes := 0
-	for i := range b.ops {
-		s := &b.ops[i]
-		if !s.isStore || s.null {
+	fb := s * opStride
+	for m := q.stores[s]; !m.Empty(); {
+		i := m.Min()
+		m.Clear(i)
+		if q.null[s].Test(i) {
 			continue
 		}
-		if !s.hasExec {
-			panic("lsq: drain of unexecuted store " + s.key.String())
+		k := Key{Seq: seq, LSID: int8(i)}
+		if !q.exec[s].Test(i) {
+			panic("lsq: drain of unexecuted store " + k.String())
 		}
+		f := fb + i
 		if q.ValidateDrain != nil {
-			if err := q.ValidateDrain(s.key, s.addr, s.data, s.size); err != nil {
+			if err := q.ValidateDrain(k, q.addr[f], q.data[f], int(q.size[f])); err != nil {
 				panic(err)
 			}
 		}
-		q.mem.Write(s.addr, s.data, s.size)
+		q.mem.Write(q.addr[f], q.data[f], int(q.size[f]))
 		if q.hier != nil {
-			q.hier.L1D.Access(s.addr, true)
+			q.hier.L1D.Access(q.addr[f], true)
 		}
 		writes++
 	}
+	// Map iteration order is irrelevant here: deletes are independent.
 	for k := range q.guard {
 		if k.Seq <= seq {
 			delete(q.guard, k)
 		}
 	}
-	delete(q.bySeq, seq)
-	// Compact in place: reslicing away the head would leak the backing
-	// array's capacity and make the steady-state append reallocate.
-	m := copy(q.blocks, q.blocks[1:])
-	q.blocks[m] = nil
-	q.blocks = q.blocks[:m]
-	q.resident -= len(b.ops)
-	q.releaseBlockOps(b)
+	q.resident -= int(q.nops[s])
+	q.head = (q.head + 1) & q.ringMask()
+	q.n--
 	q.dirty = true
 	q.certDirty = true
 	return writes

@@ -9,7 +9,7 @@
 // safe, and the simulator's tests rely on it.
 //
 // Ticking is activity-tracked: an index of routers with resident flits
-// (non-empty out or in-transit queues) lets Tick visit only live routers,
+// (non-empty link queues) lets Tick visit only live routers,
 // in ascending node order so results are bit-identical to the dense scan
 // (Config.DenseTick restores the dense scan for differential testing).
 package noc
@@ -55,36 +55,70 @@ type Stats struct {
 	QueueWait int64 // cycles messages spent waiting for link bandwidth
 }
 
+// flit is one in-flight message's pooled payload: the message plus its
+// routing header.  Flits live in the network's pool and are written once at
+// injection and read once at delivery; the link queues move 24-byte entry
+// indices between hops, never the payload.
 type flit[T any] struct {
-	msg      T
-	dst      int
-	enqueued int64 // cycle it entered the current queue, for QueueWait
+	msg T
+	dst int32
+	// dstX/dstY are dst's mesh coordinates, resolved once at injection so
+	// per-hop routing is pure compares (no divisions).
+	dstX, dstY int16
 }
 
-type transit[T any] struct {
-	flit     flit[T]
+// entry is one link-queue (or local-queue) element: a pool index plus the
+// timing the queue tracks.  This is what per-hop forwarding copies.
+type entry struct {
+	idx      int32
+	enqueued int64 // cycle it entered the current queue, for QueueWait
 	arriveAt int64
 }
 
-type router[T any] struct {
-	out [numDirs][]flit[T]
-	// inTransit holds flits this router has transmitted that have not yet
-	// reached the neighbouring router.
-	inTransit [numDirs][]transit[T]
-	// resident counts flits across out and inTransit; the active index
+// link is one outgoing mesh link's FIFO, with two watermarks instead of two
+// queues: entries in [head, sent) are on the wire (arriveAt stamped),
+// entries in [sent, len) await link bandwidth, and entries before head have
+// been consumed and are reclaimed when the queue drains (or by occasional
+// compaction).  Transmission is therefore a pure in-place stamp — only an
+// entry is copied per hop, into the next router's queue.
+type link struct {
+	q          []entry
+	head, sent int
+}
+
+type router struct {
+	links [numDirs]link
+	// resident counts unconsumed flits across the links; the active index
 	// tracks resident > 0.
 	resident int
+	// wireMask/waitMask mark directions whose wire region [head, sent) /
+	// awaiting region [sent, len) is non-empty, so the tick phases probe
+	// only occupied links instead of all five headers.
+	wireMask, waitMask uint8
+	// neigh[d] is the static far end of link d (node index and mesh
+	// coordinates); node is -1 on mesh edges, where routing never sends.
+	neigh [numDirs]neighborInfo
+}
+
+// neighborInfo is one precomputed link endpoint.
+type neighborInfo struct {
+	node int32
+	x, y int16
 }
 
 // Network is the mesh.  Deliver is invoked during Tick for every message
 // reaching its destination's local port.
 type Network[T any] struct {
 	cfg     Config
-	routers []router[T]
-	local   []transit[T] // src==dst messages awaiting local delivery
+	routers []router
+	// flits is the payload pool; free lists its reusable slots.  Both reach
+	// a high-water mark and stay allocation-free in steady state.
+	flits []flit[T]
+	free  []int32
+	local []entry // src==dst messages awaiting local delivery
 	// localSpare is the detached buffer Tick swaps with local, so local
 	// delivery with stragglers does not reallocate every cycle.
-	localSpare []transit[T]
+	localSpare []entry
 	deliver    func(now int64, node int, msg T)
 	pending    int
 	// active is a bitmask over routers with resident flits, iterated in
@@ -108,13 +142,36 @@ func New[T any](cfg Config, deliver func(now int64, node int, msg T)) (*Network[
 	if cfg.LocalLatency < 1 {
 		return nil, fmt.Errorf("noc: local latency %d < 1", cfg.LocalLatency)
 	}
-	n := cfg.Width * cfg.Height
-	return &Network[T]{
+	nn := cfg.Width * cfg.Height
+	n := &Network[T]{
 		cfg:     cfg,
-		routers: make([]router[T], n),
-		active:  make([]uint64, (n+63)/64),
+		routers: make([]router, nn),
+		active:  make([]uint64, (nn+63)/64),
 		deliver: deliver,
-	}, nil
+	}
+	for node := range n.routers {
+		x, y := n.Coords(node)
+		for d := dir(0); d < numDirs; d++ {
+			nx, ny := x, y
+			switch d {
+			case dirE:
+				nx++
+			case dirW:
+				nx--
+			case dirN:
+				ny++
+			case dirS:
+				ny--
+			}
+			nb := &n.routers[node].neigh[d]
+			if nx < 0 || nx >= cfg.Width || ny < 0 || ny >= cfg.Height {
+				nb.node = -1
+				continue
+			}
+			nb.node, nb.x, nb.y = int32(n.Node(nx, ny)), int16(nx), int16(ny)
+		}
+	}
+	return n, nil
 }
 
 // Node converts mesh coordinates to a node index.
@@ -139,7 +196,9 @@ func abs(v int) int {
 	return v
 }
 
-// addResident and subResident maintain the active-router index.
+// addResident maintains the active-router index (the invariant: a node's
+// active bit is set iff its resident count is positive).  tickArrivals
+// adjusts counts in batch form inline.
 func (n *Network[T]) addResident(node int) {
 	r := &n.routers[node]
 	if r.resident == 0 {
@@ -148,34 +207,40 @@ func (n *Network[T]) addResident(node int) {
 	r.resident++
 }
 
-func (n *Network[T]) subResident(node int) {
-	r := &n.routers[node]
-	r.resident--
-	if r.resident == 0 {
-		n.active[node>>6] &^= 1 << (uint(node) & 63)
+// alloc places a flit in the pool and returns its slot.
+func (n *Network[T]) alloc(f flit[T]) int32 {
+	if k := len(n.free); k > 0 {
+		i := n.free[k-1]
+		n.free = n.free[:k-1]
+		n.flits[i] = f
+		return i
 	}
+	n.flits = append(n.flits, f)
+	return int32(len(n.flits) - 1)
 }
 
 // Send injects a message at src destined for dst.
 func (n *Network[T]) Send(now int64, src, dst int, msg T) {
 	n.Stats.Messages++
 	n.pending++
+	dx, dy := n.Coords(dst)
+	i := n.alloc(flit[T]{msg: msg, dst: int32(dst), dstX: int16(dx), dstY: int16(dy)})
 	if src == dst {
-		n.local = append(n.local, transit[T]{
-			flit:     flit[T]{msg: msg, dst: dst},
-			arriveAt: now + int64(n.cfg.LocalLatency),
-		})
+		n.local = append(n.local, entry{idx: i, arriveAt: now + int64(n.cfg.LocalLatency)})
 		return
 	}
-	d := n.route(src, dst)
-	n.routers[src].out[d] = append(n.routers[src].out[d], flit[T]{msg: msg, dst: dst, enqueued: now})
+	x, y := n.Coords(src)
+	d := routeXY(x, y, dx, dy)
+	sr := &n.routers[src]
+	sr.links[d].q = append(sr.links[d].q, entry{idx: i, enqueued: now})
+	sr.waitMask |= 1 << d
 	n.addResident(src)
 }
 
-// route picks the next direction from node toward dst (X first, then Y).
-func (n *Network[T]) route(node, dst int) dir {
-	x, y := n.Coords(node)
-	dx, dy := n.Coords(dst)
+// routeXY picks the next direction from (x, y) toward (dx, dy) — dimension-
+// ordered: X first, then Y.  Pure compares; the destination coordinates ride
+// in the flit so per-hop routing never divides.
+func routeXY(x, y, dx, dy int) dir {
 	switch {
 	case dx > x:
 		return dirE
@@ -186,22 +251,6 @@ func (n *Network[T]) route(node, dst int) dir {
 	default:
 		return dirS
 	}
-}
-
-// neighbor returns the node on the other end of a link.
-func (n *Network[T]) neighbor(node int, d dir) int {
-	x, y := n.Coords(node)
-	switch d {
-	case dirE:
-		x++
-	case dirW:
-		x--
-	case dirN:
-		y++
-	case dirS:
-		y--
-	}
-	return n.Node(x, y)
 }
 
 // Tick advances the network one cycle: arrivals are processed (delivered or
@@ -219,24 +268,29 @@ func (n *Network[T]) Tick(now int64) bool {
 		pending := n.local
 		n.local = n.localSpare[:0]
 		for i := range pending {
-			t := &pending[i]
+			t := pending[i]
 			if t.arriveAt <= now {
 				n.Stats.Delivered++
 				n.pending--
-				n.deliver(now, t.flit.dst, t.flit.msg)
+				// The msg argument is copied out of the pool before the
+				// callback runs; the slot is freed after, so a reentrant
+				// Send cannot clobber it.
+				n.deliver(now, int(n.flits[t.idx].dst), n.flits[t.idx].msg)
+				n.free = append(n.free, t.idx)
 				moved = true
 			} else {
-				n.local = append(n.local, *t)
+				n.local = append(n.local, t)
 			}
 		}
 		n.localSpare = pending[:0]
 	}
 
 	// Arrivals at the far end of each link, then transmissions bounded by
-	// link bandwidth.  Arrival forwarding only appends to out queues (never
-	// to inTransit), and transmission only moves flits within one router,
-	// so visiting routers in ascending order — dense or via the index —
-	// processes exactly the same flits in the same order.
+	// link bandwidth.  Arrival forwarding only appends to the awaiting
+	// region of link queues (never to the wire region it is scanning), and
+	// transmission only stamps flits within one router, so visiting routers
+	// in ascending order — dense or via the index — processes exactly the
+	// same flits in the same order.
 	if n.cfg.DenseTick {
 		for node := range n.routers {
 			if n.tickArrivals(now, node) {
@@ -252,8 +306,8 @@ func (n *Network[T]) Tick(now int64) bool {
 	}
 	for w, word := range n.active {
 		// The word is snapshotted: arrivals may activate routers ahead of
-		// the scan, but a freshly activated router has an empty inTransit,
-		// so skipping it matches the dense scan's no-op visit.
+		// the scan, but a freshly activated router has an empty wire
+		// region, so skipping it matches the dense scan's no-op visit.
 		for word != 0 {
 			node := w<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
@@ -264,7 +318,7 @@ func (n *Network[T]) Tick(now int64) bool {
 	}
 	for w, word := range n.active {
 		// Transmission never touches other routers, and routers activated
-		// by the arrival phase hold only out-queue flits enqueued *this*
+		// by the arrival phase hold only awaiting flits enqueued *this*
 		// cycle — the dense scan would visit them, find enqueued == now
 		// flits, and transmit them.  So the transmit phase must see bits
 		// set during the arrival phase: the live mask is re-read here, and
@@ -281,78 +335,128 @@ func (n *Network[T]) Tick(now int64) bool {
 	return moved
 }
 
-// tickArrivals processes one router's due in-transit flits: delivery at the
-// destination, or forwarding into the next router's out queue.
+// tickArrivals processes one router's due on-the-wire flits: delivery at
+// the destination, or forwarding into the next router's link queue.
+//
+// The wire region [head, sent) is sorted by arriveAt — tickTransmit stamps
+// now + HopLatency, and simulated time never decreases — so the due flits
+// are a prefix.  The whole prefix is processed as one batch: the link's
+// far-end node, its coordinates, and the neighbour router pointer are
+// resolved once per queue, consumption is a head-index advance (no
+// compaction copy), and the resident count is adjusted once.
 func (n *Network[T]) tickArrivals(now int64, node int) bool {
 	r := &n.routers[node]
 	moved := false
-	for d := dir(0); d < numDirs; d++ {
-		ts := r.inTransit[d]
-		if len(ts) == 0 {
+	// The deliver callback may Send from this node, but an injection lands
+	// in an awaiting region (waitMask), never on the wire — the snapshot of
+	// wireMask covers exactly the links this phase must probe.
+	for wm := r.wireMask; wm != 0; wm &= wm - 1 {
+		d := dir(bits.TrailingZeros8(wm))
+		l := &r.links[d]
+		// Snapshot: the deliver callback may Send onto this same link,
+		// growing l.q; entries in [head, sent) are immutable across that.
+		ts := l.q
+		if ts[l.head].arriveAt > now {
 			continue
 		}
-		// Flits are large (the payload is an operand message); iterate by
-		// pointer and compact in place so kept flits are only moved when a
-		// removal ahead of them opened a gap.  Forwarding and delivery only
-		// append to out queues and the local list, never to any inTransit,
-		// so ts stays valid throughout.
-		keep := 0
-		for i := range ts {
-			t := &ts[i]
-			if t.arriveAt > now {
-				if keep != i {
-					ts[keep] = *t
-				}
-				keep++
-				continue
+		due := l.sent
+		for i := l.head + 1; i < l.sent; i++ {
+			if ts[i].arriveAt > now {
+				due = i
+				break
 			}
-			moved = true
-			n.subResident(node)
-			at := n.neighbor(node, d)
-			if at == t.flit.dst {
+		}
+		moved = true
+		nb := r.neigh[d]
+		at := int(nb.node)
+		atx, aty := int(nb.x), int(nb.y)
+		ar := &n.routers[at]
+		// Forwarding appends land in the neighbour's awaiting region
+		// [sent, len), which this phase never reads — the transmit phase
+		// puts them on the wire, exactly as the dense reference would.
+		for i := l.head; i < due; i++ {
+			t := ts[i]
+			// The pool pointer is re-read per flit: a delivery's reentrant
+			// Send may grow n.flits.
+			fl := &n.flits[t.idx]
+			if at == int(fl.dst) {
 				n.Stats.Delivered++
 				n.pending--
-				n.deliver(now, at, t.flit.msg)
+				// msg is copied into the argument before the callback runs;
+				// the slot is freed after, so a reentrant Send cannot
+				// clobber it.
+				n.deliver(now, at, fl.msg)
+				n.free = append(n.free, t.idx)
 				continue
 			}
-			nd := n.route(at, t.flit.dst)
-			t.flit.enqueued = now
-			n.routers[at].out[nd] = append(n.routers[at].out[nd], t.flit)
-			n.addResident(at)
+			nd := routeXY(atx, aty, int(fl.dstX), int(fl.dstY))
+			if ar.resident == 0 {
+				n.active[at>>6] |= 1 << (uint(at) & 63)
+			}
+			ar.resident++
+			ar.waitMask |= 1 << nd
+			al := &ar.links[nd]
+			al.q = append(al.q, entry{idx: t.idx, enqueued: now})
 		}
-		r.inTransit[d] = ts[:keep]
+		// Batched resident accounting: the deliver callback may have Sent new
+		// flits from this node mid-batch, so the count can stay positive.
+		k := due - l.head
+		l.head = due
+		if l.head == l.sent {
+			r.wireMask &^= 1 << d
+		}
+		r.resident -= k
+		if r.resident == 0 {
+			n.active[node>>6] &^= 1 << (uint(node) & 63)
+		}
+		// Reclaim consumed entries: reset when drained, else compact once
+		// the dead prefix dominates (amortised O(1) per flit).
+		if l.head == len(l.q) {
+			l.q, l.head, l.sent = l.q[:0], 0, 0
+		} else if l.head >= 32 && 2*l.head >= len(l.q) {
+			m := copy(l.q, l.q[l.head:])
+			l.q = l.q[:m]
+			l.sent -= l.head
+			l.head = 0
+		}
 	}
 	return moved
 }
 
-// tickTransmit moves up to LinkBandwidth flits per out queue onto the link.
+// tickTransmit puts up to LinkBandwidth awaiting flits per link onto the
+// wire: a pure in-place arriveAt stamp plus a watermark advance — no flit
+// is copied.  arriveAt is the same for the whole batch, and now never
+// decreases, so the wire region stays sorted — the invariant tickArrivals'
+// prefix batching and NextEvent's head read rely on.
 func (n *Network[T]) tickTransmit(now int64, node int) bool {
 	r := &n.routers[node]
 	moved := false
-	for d := dir(0); d < numDirs; d++ {
-		q := r.out[d]
-		if len(q) == 0 {
-			continue
-		}
+	for wm := r.waitMask; wm != 0; wm &= wm - 1 {
+		d := dir(bits.TrailingZeros8(wm))
+		l := &r.links[d]
+		waiting := len(l.q) - l.sent
 		moved = true
 		k := n.cfg.LinkBandwidth
-		if k > len(q) {
-			k = len(q)
+		if k > waiting {
+			k = waiting
 		}
 		arriveAt := now + int64(n.cfg.HopLatency)
-		for i := 0; i < k; i++ {
-			n.Stats.Hops++
-			n.Stats.QueueWait += now - q[i].enqueued
-			r.inTransit[d] = append(r.inTransit[d], transit[T]{flit: q[i], arriveAt: arriveAt})
+		n.Stats.Hops += int64(k)
+		for i := l.sent; i < l.sent+k; i++ {
+			n.Stats.QueueWait += now - l.q[i].enqueued
+			l.q[i].arriveAt = arriveAt
 		}
-		m := copy(q, q[k:])
-		r.out[d] = q[:m]
+		l.sent += k
+		r.wireMask |= 1 << d
+		if l.sent == len(l.q) {
+			r.waitMask &^= 1 << d
+		}
 	}
 	return moved
 }
 
 // NextEvent returns the earliest cycle >= now at which Tick would move
-// anything: now itself if any out queue holds a flit (it transmits this
+// anything: now itself if any link holds an awaiting flit (it transmits this
 // cycle), otherwise the earliest in-transit or local arrival.  With nothing
 // pending it returns Never.
 func (n *Network[T]) NextEvent(now int64) int64 {
@@ -370,14 +474,14 @@ func (n *Network[T]) NextEvent(now int64) int64 {
 			node := w<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
 			r := &n.routers[node]
-			for d := dir(0); d < numDirs; d++ {
-				if len(r.out[d]) > 0 {
-					return now
-				}
-				for _, t := range r.inTransit[d] {
-					if t.arriveAt < next {
-						next = t.arriveAt
-					}
+			if r.waitMask != 0 {
+				return now
+			}
+			for wm := r.wireMask; wm != 0; wm &= wm - 1 {
+				l := &r.links[bits.TrailingZeros8(wm)]
+				// Wire region sorted by arriveAt: the head is the earliest.
+				if t := l.q[l.head].arriveAt; t < next {
+					next = t
 				}
 			}
 		}

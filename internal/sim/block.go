@@ -1,23 +1,21 @@
 package sim
 
 import (
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/isa"
 )
 
 // instState is the dynamic state of one instruction slot in a mapped block:
-// a DSRE reservation station.
+// a DSRE reservation station.  The hot per-instruction state lives in the
+// owning blockInst's structure-of-arrays fields instead: operand slots in
+// the flat ops array (stride isa.NumSlots) and the needExec/queued flags in
+// the need/queued bitmaps, so the scheduler and delivery paths touch dense
+// cache lines rather than striding over this struct.
 type instState struct {
-	slots [isa.NumSlots]core.OperandSlot
-
-	// needExec marks that the instruction must (re-)execute: an operand
-	// changed since the last execution (or it has never executed).
-	needExec bool
 	// inflight counts executions currently in the ALU pipeline; commit-only
 	// emission must wait for quiescence or it would certify a stale output.
 	inflight int
-	// queued marks membership in a tile ready queue.
-	queued bool
 	// fired counts executions (re-executions are fired > 1).
 	fired int64
 	// lastOut and outTag describe the most recent output broadcast.
@@ -44,41 +42,48 @@ type instState struct {
 	vpValue   int64
 }
 
+// slot returns instruction i's operand slot s in the block's flat SoA
+// operand buffer.
+func (b *blockInst) slot(i int, s isa.Slot) *core.OperandSlot {
+	return &b.ops[i*int(isa.NumSlots)+int(s)]
+}
+
 // storeCommitFlags reports whether the commit wave has reached a store's
 // address and data operands (the predicate, when present, gates both).
-func (st *instState) storeCommitFlags(in *isa.Inst) (addrCom, dataCom bool) {
-	predOK := in.Pred == isa.PredNone || st.slots[isa.SlotP].Committed
-	return predOK && st.slots[isa.SlotA].Committed, predOK && st.slots[isa.SlotB].Committed
+func (b *blockInst) storeCommitFlags(i int, in *isa.Inst) (addrCom, dataCom bool) {
+	predOK := in.Pred == isa.PredNone || b.slot(i, isa.SlotP).Committed
+	return predOK && b.slot(i, isa.SlotA).Committed, predOK && b.slot(i, isa.SlotB).Committed
 }
 
-// inputsCommitted reports whether every operand slot the instruction waits
+// inputsCommitted reports whether every operand slot instruction i waits
 // on holds a committed value.
-func (st *instState) inputsCommitted(in *isa.Inst) bool {
+func (b *blockInst) inputsCommitted(i int, in *isa.Inst) bool {
 	for s := isa.SlotA; s < isa.NumSlots; s++ {
-		if in.NeedsSlot(s) && !st.slots[s].Committed {
+		if in.NeedsSlot(s) && !b.slot(i, s).Committed {
 			return false
 		}
 	}
 	return true
 }
 
-// operandsPresent reports whether every needed slot holds a value.
-func (st *instState) operandsPresent(in *isa.Inst) bool {
+// operandsPresent reports whether every needed slot of instruction i holds
+// a value.
+func (b *blockInst) operandsPresent(i int, in *isa.Inst) bool {
 	for s := isa.SlotA; s < isa.NumSlots; s++ {
-		if in.NeedsSlot(s) && !st.slots[s].Present {
+		if in.NeedsSlot(s) && !b.slot(i, s).Present {
 			return false
 		}
 	}
 	return true
 }
 
-// predEnabled reports the predicate check: ok is false while the predicate
-// has not arrived.
-func (st *instState) predEnabled(in *isa.Inst) (enabled, ok bool) {
+// predEnabled reports instruction i's predicate check: ok is false while
+// the predicate has not arrived.
+func (b *blockInst) predEnabled(i int, in *isa.Inst) (enabled, ok bool) {
 	if in.Pred == isa.PredNone {
 		return true, true
 	}
-	p := &st.slots[isa.SlotP]
+	p := b.slot(i, isa.SlotP)
 	if !p.Present {
 		return false, false
 	}
@@ -98,11 +103,21 @@ type blockInst struct {
 	seq     int64
 	blockID int
 	bdef    *isa.Block
-	frame   int
+	frame   int32
 	gen     uint32
 
 	insts  []instState
 	writes []writeState
+
+	// ops is the block's operand buffer in structure-of-arrays form: the
+	// isa.NumSlots operand slots of instruction i live at
+	// ops[i*NumSlots : (i+1)*NumSlots] (see slot).
+	ops []core.OperandSlot
+	// need marks instructions that must (re-)execute: an operand changed
+	// since the last execution, or they have never executed.
+	need bitset.Mask128
+	// queued marks instructions resident in a tile ready mask.
+	queued bitset.Mask128
 
 	// branch is the block's control outcome (value = next block ID),
 	// written by whichever branch instruction fires.

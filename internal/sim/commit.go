@@ -5,6 +5,29 @@ import (
 	"repro/internal/trace"
 )
 
+// reclaimReadyBits strips a dying (squashed or retiring) block's queued
+// instructions out of its tiles' ready masks, converting each into a stale
+// credit.  The dense reference scheduler left such entries in place and
+// dropped one per cycle instead of issuing; the credits reproduce that
+// cost exactly while keeping the mask invariant (set bits name only live
+// blocks) that lets the bitmap path skip liveness checks.
+func (mc *Machine) reclaimReadyBits(b *blockInst) {
+	slot := int(b.seq) & mc.tileRingMask
+	for q := b.queued; !q.Empty(); {
+		i := q.Min()
+		q.Clear(i)
+		t := &mc.tiles[mc.instTile(b.blockID, i)]
+		m := &t.ready[slot]
+		m.Clear(i)
+		if m.Empty() {
+			t.readyBlocks.Clear(slot)
+		}
+		t.readyCount--
+		t.staleCredits++
+	}
+	b.queued.Reset()
+}
+
 // squashFrom removes every in-flight block with sequence >= fromSeq and
 // arranges for fetch to resume at resumeID.  Frame generations advance so
 // that every message still in flight for a squashed block is dropped on
@@ -30,6 +53,7 @@ func (mc *Machine) squashFrom(fromSeq int64, resumeID int) {
 		for j := range b.insts {
 			mc.stats.SquashedExecs += b.insts[j].fired
 		}
+		mc.reclaimReadyBits(b)
 		// Recycle the block and nil the window tail so retired blocks are
 		// unreachable.  A handler that squashed its own block may still hold
 		// the pointer, but the pool only hands it out at the next map, after
@@ -86,6 +110,9 @@ func (mc *Machine) stepCommit() bool {
 	}
 	mc.frameBusy[b.frame] = false
 	mc.frameGens[b.frame]++
+	// A block can retire with instructions still queued (e.g. a predicated
+	// slot whose enable lapsed); reclaim their ready bits like a squash.
+	mc.reclaimReadyBits(b)
 	// Compact in place: reslicing away the head would leak the backing
 	// array's capacity and make the steady-state append reallocate.
 	m := copy(mc.window, mc.window[1:])

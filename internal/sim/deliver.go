@@ -45,7 +45,7 @@ func (mc *Machine) handleOperand(m message) {
 		return
 	}
 	st := &b.insts[m.idx]
-	slot := &st.slots[m.slot]
+	slot := b.slot(int(m.idx), isa.Slot(m.slot))
 	var reexec bool
 	if m.committed {
 		if assertsEnabled && slot.Committed && slot.Value != m.value {
@@ -57,7 +57,7 @@ func (mc *Machine) handleOperand(m message) {
 		reexec = slot.Deliver(m.value, m.tag, mc.cfg.SuppressIdenticalValues)
 	}
 	if reexec {
-		st.needExec = true
+		b.need.Set(int(m.idx))
 		st.committedSent = false
 		mc.enqueueReady(b, int(m.idx))
 	}

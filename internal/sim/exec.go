@@ -8,24 +8,29 @@ import (
 	"repro/internal/trace"
 )
 
-// enqueueReady places an instruction in its tile's ready queue if it can
-// execute and is not already queued.
+// enqueueReady sets an instruction's bit in its tile's ready masks if it
+// can execute and is not already queued.
 func (mc *Machine) enqueueReady(b *blockInst, idx int) {
-	st := &b.insts[idx]
-	if st.queued || !st.needExec {
+	if b.queued.Test(idx) || !b.need.Test(idx) {
 		return
 	}
 	in := &b.bdef.Insts[idx]
-	if !st.operandsPresent(in) {
+	if !b.operandsPresent(idx, in) {
 		return
 	}
-	if en, ok := st.predEnabled(in); !ok || !en {
+	if en, ok := b.predEnabled(idx, in); !ok || !en {
 		return
 	}
-	st.queued = true
+	b.queued.Set(idx)
 	tile := mc.instTile(b.blockID, idx)
 	t := &mc.tiles[tile]
-	t.ready = append(t.ready, instRef{frame: b.frame, gen: b.gen, seq: b.seq, idx: idx})
+	slot := int(b.seq) & mc.tileRingMask
+	m := &t.ready[slot]
+	if m.Empty() {
+		t.readyBlocks.Set(slot)
+	}
+	m.Set(idx)
+	t.readyCount++
 	mc.markTileActive(tile)
 }
 
@@ -78,48 +83,34 @@ func (mc *Machine) stepTile(ti int) bool {
 		t.busy = kept
 	}
 
-	// Issue one ready instruction.  Any non-empty ready queue counts as
-	// progress: the pop (or stale-drop) below mutates the queue, so a cycle
-	// is only provably idle when every ready queue is empty.
-	if len(t.ready) > 0 {
+	// Issue one ready instruction.  Any queued work counts as progress: the
+	// pop (or stale-credit drop) below mutates tile state, so a cycle is
+	// only provably idle when every tile's issue stage is empty.
+	if t.hasIssueWork() {
 		progress = true
-		best := -1
-		for i, r := range t.ready {
-			b := mc.blockAt(r.seq)
-			if b == nil || b.frame != r.frame || b.gen != r.gen {
-				// Stale (squashed) entry: drop in place.
-				t.ready[i] = t.ready[len(t.ready)-1]
-				t.ready = t.ready[:len(t.ready)-1]
-				mc.stepTileIssueRetry(t)
-				best = -2
-				break
-			}
-			if best < 0 || r.seq < t.ready[best].seq ||
-				(r.seq == t.ready[best].seq && r.idx < t.ready[best].idx) {
-				best = i
-			}
+		var base int64
+		if len(mc.window) > 0 {
+			base = mc.window[0].seq
 		}
-		if best >= 0 {
-			r := t.ready[best]
-			t.ready[best] = t.ready[len(t.ready)-1]
-			t.ready = t.ready[:len(t.ready)-1]
-
-			b := mc.blockAt(r.seq)
-			st := &b.insts[r.idx]
-			st.queued = false
+		seq, idx, stale, _ := t.dequeueReady(base, mc.tileRingMask)
+		if !stale {
+			// Set bits always name live blocks (squash/commit reclaim them
+			// eagerly), so the block lookup cannot miss.
+			b := mc.blockAt(seq)
+			b.queued.Clear(idx)
 			// Readiness may have lapsed (e.g. predicate flipped since
 			// enqueue).
-			in := &b.bdef.Insts[r.idx]
+			in := &b.bdef.Insts[idx]
 			switch {
-			case !st.needExec || !st.operandsPresent(in):
+			case !b.need.Test(idx) || !b.operandsPresent(idx, in):
 			default:
-				if en, ok := st.predEnabled(in); ok && en {
-					st.needExec = false
-					st.inflight++
+				if en, ok := b.predEnabled(idx, in); ok && en {
+					b.need.Clear(idx)
+					b.insts[idx].inflight++
 					lat := mc.cfg.opLatency(in.Op)
 					t.busy = append(t.busy, aluJob{
 						completeAt: mc.cycle + int64(lat),
-						frame:      r.frame, gen: r.gen, seq: r.seq, idx: r.idx,
+						frame:      b.frame, gen: b.gen, seq: seq, idx: idx,
 					})
 					mc.stats.Issued++
 				}
@@ -127,7 +118,7 @@ func (mc *Machine) stepTile(ti int) bool {
 		}
 	}
 
-	if len(t.ready) == 0 && len(t.busy) == 0 {
+	if !t.hasIssueWork() && len(t.busy) == 0 {
 		mc.tileActive[ti>>6] &^= 1 << (uint(ti) & 63)
 	}
 	return progress
@@ -135,9 +126,9 @@ func (mc *Machine) stepTile(ti int) bool {
 
 // tileNext returns the earliest future cycle at which some tile has work to
 // do: the minimum busy-job completion across active tiles.  After a null
-// step every ready queue is empty (a non-empty one would have been
-// progress), so completions are the only pending tile events; a non-empty
-// ready queue still forces the conservative answer out of caution.
+// step every issue stage is empty (queued work would have been progress),
+// so completions are the only pending tile events; a non-empty issue stage
+// still forces the conservative answer out of caution.
 func (mc *Machine) tileNext() int64 {
 	next := int64(1) << 62
 	for w, word := range mc.tileActive {
@@ -145,7 +136,7 @@ func (mc *Machine) tileNext() int64 {
 			ti := w<<6 + bits.TrailingZeros64(word)
 			word &= word - 1
 			t := &mc.tiles[ti]
-			if len(t.ready) > 0 {
+			if t.hasIssueWork() {
 				return mc.cycle + 1
 			}
 			for _, j := range t.busy {
@@ -157,10 +148,6 @@ func (mc *Machine) tileNext() int64 {
 	}
 	return next
 }
-
-// stepTileIssueRetry exists only to keep the stale-drop path readable; the
-// tile simply forgoes its issue slot this cycle after compaction.
-func (mc *Machine) stepTileIssueRetry(*tileState) {}
 
 // completeExec finishes one ALU execution: the result is computed from the
 // *current* operand slots and broadcast to the instruction's targets.
@@ -175,19 +162,19 @@ func (mc *Machine) completeExec(j aluJob) {
 
 	// The predicate may have flipped mid-execution; the enqueue triggered
 	// by that flip handles re-evaluation, this result is dead.
-	if en, ok := st.predEnabled(in); !ok || !en {
+	if en, ok := b.predEnabled(j.idx, in); !ok || !en {
 		return
 	}
-	if !st.operandsPresent(in) {
+	if !b.operandsPresent(j.idx, in) {
 		return
 	}
 
-	a := st.slots[isa.SlotA].Value
-	bv := st.slots[isa.SlotB].Value
+	a := b.slot(j.idx, isa.SlotA).Value
+	bv := b.slot(j.idx, isa.SlotB).Value
 	outTag := core.Tag(0)
 	for s := isa.SlotA; s < isa.NumSlots; s++ {
 		if in.NeedsSlot(s) {
-			outTag = core.MaxTag(outTag, st.slots[s].Tag)
+			outTag = core.MaxTag(outTag, b.slot(j.idx, s).Tag)
 		}
 	}
 
@@ -207,7 +194,7 @@ func (mc *Machine) completeExec(j aluJob) {
 		mc.spans.RecordSpan(trace.SpanExec, b.seq, j.idx, uint64(outTag), mc.cycle-lat, mc.cycle)
 	}
 
-	committed := st.inputsCommitted(in)
+	committed := b.inputsCommitted(j.idx, in)
 	src := mc.tiles[mc.instTile(b.blockID, j.idx)].node
 
 	switch {
@@ -220,7 +207,7 @@ func (mc *Machine) completeExec(j aluJob) {
 		st.lastOut, st.outTag, st.execValid = int64(addr), outTag, true
 	case in.Op.IsStore():
 		addr := uint64(a + in.Imm)
-		addrCom, dataCom := st.storeCommitFlags(in)
+		addrCom, dataCom := b.storeCommitFlags(j.idx, in)
 		mc.send(src, mc.memNode(addr), message{
 			kind: msgStoreReq, frame: b.frame, gen: b.gen, seq: b.seq,
 			idx: uint8(j.idx), lsid: in.LSID, addr: addr, value: bv, tag: outTag,
@@ -257,13 +244,13 @@ func (mc *Machine) completeExec(j aluJob) {
 func (mc *Machine) maybeEmitCommitOnly(b *blockInst, idx int) {
 	st := &b.insts[idx]
 	in := &b.bdef.Insts[idx]
-	if st.committedSent || !st.execValid || st.needExec || st.inflight > 0 {
+	if st.committedSent || !st.execValid || b.need.Test(idx) || st.inflight > 0 {
 		return
 	}
-	if en, ok := st.predEnabled(in); !ok || !en {
+	if en, ok := b.predEnabled(idx, in); !ok || !en {
 		return
 	}
-	if !st.inputsCommitted(in) {
+	if !b.inputsCommitted(idx, in) {
 		return
 	}
 	st.committedSent = true
@@ -275,8 +262,8 @@ func (mc *Machine) maybeEmitCommitOnly(b *blockInst, idx int) {
 			idx: uint8(idx), lsid: in.LSID, addr: uint64(st.lastOut), tag: st.outTag, committed: true,
 		})
 	case in.Op.IsStore():
-		a := st.slots[isa.SlotA].Value
-		d := st.slots[isa.SlotB].Value
+		a := b.slot(idx, isa.SlotA).Value
+		d := b.slot(idx, isa.SlotB).Value
 		mc.send(src, mc.memNode(uint64(a+in.Imm)), message{
 			kind: msgStoreReq, frame: b.frame, gen: b.gen, seq: b.seq,
 			idx: uint8(idx), lsid: in.LSID, addr: uint64(a + in.Imm), value: d, tag: st.outTag,
@@ -302,19 +289,19 @@ func (mc *Machine) maybeEmitCommitOnly(b *blockInst, idx int) {
 func (mc *Machine) maybeEmitStorePartial(b *blockInst, idx int) {
 	st := &b.insts[idx]
 	in := &b.bdef.Insts[idx]
-	if !in.Op.IsStore() || st.committedSent || !st.execValid || st.needExec || st.inflight > 0 {
+	if !in.Op.IsStore() || st.committedSent || !st.execValid || b.need.Test(idx) || st.inflight > 0 {
 		return
 	}
-	if en, ok := st.predEnabled(in); !ok || !en {
+	if en, ok := b.predEnabled(idx, in); !ok || !en {
 		return
 	}
-	addrCom, dataCom := st.storeCommitFlags(in)
+	addrCom, dataCom := b.storeCommitFlags(idx, in)
 	if addrCom == st.sentAddrCom && dataCom == st.sentDataCom {
 		return
 	}
 	st.sentAddrCom, st.sentDataCom = addrCom, dataCom
-	a := st.slots[isa.SlotA].Value
-	d := st.slots[isa.SlotB].Value
+	a := b.slot(idx, isa.SlotA).Value
+	d := b.slot(idx, isa.SlotB).Value
 	src := mc.commitSrc(mc.tiles[mc.instTile(b.blockID, idx)].node)
 	mc.send(src, mc.memNode(uint64(a+in.Imm)), message{
 		kind: msgStoreReq, frame: b.frame, gen: b.gen, seq: b.seq,
@@ -332,11 +319,11 @@ func (mc *Machine) maybeNullify(b *blockInst, idx int) {
 	if in.Pred == isa.PredNone || !in.Op.IsStore() {
 		return
 	}
-	p := &st.slots[isa.SlotP]
+	p := b.slot(idx, isa.SlotP)
 	if !p.Present {
 		return
 	}
-	if en, _ := st.predEnabled(in); en {
+	if en, _ := b.predEnabled(idx, in); en {
 		return
 	}
 	// Send at most once per predicate version, plus once for the commit.

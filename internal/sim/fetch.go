@@ -126,10 +126,11 @@ func (mc *Machine) mapBlock(seq int64, blockID int) {
 		seq:      seq,
 		blockID:  blockID,
 		bdef:     bdef,
-		frame:    frame,
+		frame:    int32(frame),
 		gen:      mc.frameGens[frame],
 		insts:    resliceCleared(b.insts, len(bdef.Insts)),
 		writes:   resliceCleared(b.writes, len(bdef.Writes)),
+		ops:      resliceCleared(b.ops, len(bdef.Insts)*int(isa.NumSlots)),
 		readBind: b.readBind, // sized below, every element assigned
 		regRead:  b.regRead,
 		mapCycle: mc.cycle,
@@ -165,8 +166,7 @@ func (mc *Machine) mapBlock(seq int64, blockID int) {
 	// immediately.
 	for i := range bdef.Insts {
 		if bdef.Insts[i].NumInputs() == 0 {
-			st := &b.insts[i]
-			st.needExec = true
+			b.need.Set(i)
 			mc.enqueueReady(b, i)
 		}
 	}

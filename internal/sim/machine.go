@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/emu"
@@ -18,25 +19,70 @@ import (
 // aluJob is one execution in flight on a tile's (pipelined) ALU.
 type aluJob struct {
 	completeAt int64
-	frame      int
+	frame      int32
 	gen        uint32
 	seq        int64
 	idx        int
 }
 
-// instRef names an instruction instance waiting in a tile ready queue.
-type instRef struct {
-	frame int
-	gen   uint32
-	seq   int64
-	idx   int
+// tileState is one execution tile: per-block ready bitmaps feeding a
+// pipelined ALU.  Readiness is a ring of 128-bit instruction masks indexed
+// by block sequence (modulo the ring size, which covers the frame count),
+// plus a ring bitset naming the occupied slots; pick-next is "first live
+// block slot at or after the window base, then lowest set instruction bit"
+// — a pair of priority-encoder queries instead of an associative scan.
+//
+// Invariant: every set bit names a live (in-window) block.  Squash and
+// commit eagerly reclaim a dying block's bits, converting each into a
+// stale credit (see dequeueReady), so the masks never hold dangling
+// entries and seq→slot indexing stays collision-free.
+type tileState struct {
+	node int
+	// readyBlocks flags ring slots (seq & ringMask) of blocks with at least
+	// one ready instruction here; ready[slot] is that block's mask.
+	readyBlocks bitset.Ring
+	ready       []bitset.Mask128
+	// readyCount is the number of set bits across ready.
+	readyCount int
+	// staleCredits counts entries reclaimed from squashed or retired
+	// blocks.  The dense reference scheduler dropped one stale queue entry
+	// per cycle in place of an issue; each credit reproduces exactly that:
+	// one no-issue cycle that still counts as progress.
+	staleCredits int
+	busy         []aluJob
 }
 
-// tileState is one execution tile: a ready queue feeding a pipelined ALU.
-type tileState struct {
-	node  int
-	ready []instRef
-	busy  []aluJob
+// dequeueReady pops the tile's oldest ready instruction (lowest block seq,
+// then lowest instruction index), or consumes one stale credit in place of
+// an issue.  windowBase is the oldest in-flight block's sequence; ringMask
+// is the tile ring's index mask.  ok is false when the tile has nothing
+// queued; stale reports that this cycle's issue slot was consumed by a
+// reclaimed entry and no instruction was popped.  Both the dense
+// (SlowTick) and event-driven paths issue through this one helper.
+func (t *tileState) dequeueReady(windowBase int64, ringMask int) (seq int64, idx int, stale, ok bool) {
+	if t.staleCredits > 0 {
+		t.staleCredits--
+		return 0, 0, true, true
+	}
+	if t.readyCount == 0 {
+		return 0, 0, false, false
+	}
+	base := int(windowBase) & ringMask
+	slot := t.readyBlocks.FirstFrom(base)
+	m := &t.ready[slot]
+	idx = m.Min()
+	m.Clear(idx)
+	if m.Empty() {
+		t.readyBlocks.Clear(slot)
+	}
+	t.readyCount--
+	return windowBase + int64((slot-base)&ringMask), idx, false, true
+}
+
+// hasIssueWork reports whether the tile's issue stage has anything to do
+// this cycle (a ready instruction, or a stale credit to consume).
+func (t *tileState) hasIssueWork() bool {
+	return t.readyCount > 0 || t.staleCredits > 0
 }
 
 // pendingFetch is the block fetch in progress.
@@ -86,8 +132,12 @@ type Machine struct {
 	// injq schedules structure-latency injections (cache replies, recovery
 	// broadcasts) by cycle; FIFO within a cycle, so it reproduces the
 	// retired delayed-map iteration bit for bit.
-	injq  sched.Queue[injection]
+	injq  sched.Wheel[injection]
 	tiles []tileState
+	// tileRingMask indexes the tiles' ready rings: slot = seq & mask.  The
+	// ring covers the frame count, so live blocks (whose seqs span less
+	// than Frames) never collide.
+	tileRingMask int
 	// tileActive is a bitmask over tiles with resident work (non-empty
 	// ready or busy queues); stepTiles visits only these, in ascending
 	// order so issue arbitration matches the dense scan exactly.
@@ -227,7 +277,10 @@ func New(cfg Config, prog *isa.Program, regs *[isa.NumRegs]int64, m *mem.Memory,
 	mc.tiles = make([]tileState, nt)
 	for i := range mc.tiles {
 		mc.tiles[i].node = mc.execNode(i)
+		mc.tiles[i].readyBlocks = bitset.NewRing(cfg.Frames)
+		mc.tiles[i].ready = make([]bitset.Mask128, mc.tiles[i].readyBlocks.Size())
 	}
+	mc.tileRingMask = mc.tiles[0].readyBlocks.Size() - 1
 	mc.tileActive = make([]uint64, (nt+63)/64)
 	mc.placement, err = computePlacement(cfg.Placement, prog, nt)
 	if err != nil {

@@ -52,18 +52,21 @@ func (k msgKind) String() string {
 // block instance it belongs to by (frame, gen); messages whose generation
 // no longer matches the frame are stale remnants of a squashed block and
 // are dropped on arrival.
+// Fields are ordered widest-first and the frame index is 32-bit so the
+// struct packs into 56 bytes: the network copies messages on every hop, so
+// payload size is directly hop cost (see BenchmarkMeshThroughput).
 type message struct {
-	kind  msgKind
-	frame int
-	gen   uint32
 	seq   int64
+	value int64 // operand/write/branch value, store data
+	addr  uint64
+	tag   core.Tag
+	frame int32
+	gen   uint32
+	kind  msgKind
+	idx   uint8 // instruction index (msgOperand), write slot (msgWrite)
+	slot  uint8 // operand slot (msgOperand)
+	lsid  int8  // memory ops
 
-	idx       uint8 // instruction index (msgOperand), write slot (msgWrite)
-	slot      uint8 // operand slot (msgOperand)
-	lsid      int8  // memory ops
-	value     int64 // operand/write/branch value, store data
-	addr      uint64
-	tag       core.Tag
 	committed bool
 	// Store-only partial commit flags: the commit wave reached the address
 	// and/or data operand (committed == both, or committed null).

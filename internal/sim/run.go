@@ -257,12 +257,12 @@ func (mc *Machine) debugDump() string {
 			var slots []string
 			for s := isa.SlotA; s < isa.NumSlots; s++ {
 				if in.NeedsSlot(s) {
-					sl := &st.slots[s]
+					sl := blk.slot(i, s)
 					slots = append(slots, fmt.Sprintf("%s{p=%v c=%v v=%d t=%d}", s, sl.Present, sl.Committed, sl.Value, sl.Tag))
 				}
 			}
 			fmt.Fprintf(&b, "    i%-3d %-24s fired=%d need=%v q=%v ev=%v %s\n",
-				i, in.String(), st.fired, st.needExec, st.queued, st.execValid, strings.Join(slots, " "))
+				i, in.String(), st.fired, blk.need.Test(i), blk.queued.Test(i), st.execValid, strings.Join(slots, " "))
 		}
 	}
 	fmt.Fprintf(&b, "fetch active=%v seq=%d id=%d  nextSeq=%d resume=%d net pending=%d\n",
